@@ -1,0 +1,69 @@
+// Ablation: statistical multiplexing of staggered tenant peaks — the
+// premise behind time-sharing one merged engine (paper Sec. I: edge
+// equipment "operates full time, however the duty-cycle is low"). Four
+// tenants each burst at full line rate for 25 % of a period; when their
+// peaks are staggered the single merged pipeline absorbs all of them with
+// no queueing, and when the peaks coincide it backs up by design.
+#include "bench_common.hpp"
+#include "netbase/table_gen.hpp"
+#include "pipeline/router.hpp"
+#include "virt/merged_trie.hpp"
+
+int main() {
+  using namespace vr;
+  constexpr std::size_t kVns = 4;
+  net::TableProfile profile;
+  profile.prefix_count = 800;
+  const net::SyntheticTableGenerator gen(profile);
+  std::vector<net::RoutingTable> tables;
+  std::vector<const net::RoutingTable*> table_ptrs;
+  std::vector<trie::UnibitTrie> tries;
+  for (std::uint64_t v = 0; v < kVns; ++v) {
+    tables.push_back(gen.generate(v + 1));
+  }
+  for (const auto& t : tables) {
+    table_ptrs.push_back(&t);
+    tries.push_back(trie::UnibitTrie(t).leaf_pushed());
+  }
+  std::vector<const trie::UnibitTrie*> trie_ptrs;
+  for (const auto& t : tries) trie_ptrs.push_back(&t);
+  const virt::MergedTrie merged{
+      std::span<const trie::UnibitTrie* const>(trie_ptrs)};
+
+  TextTable out(
+      "Merged engine under 4 tenants bursting at line rate, 25% duty");
+  out.set_header({"peak arrangement", "offered pkts", "served pkts",
+                  "max queue", "mean utilization"});
+  const struct {
+    const char* name;
+    std::vector<double> offsets;
+  } cases[] = {
+      {"staggered (0/25/50/75%)", {0.0, 0.25, 0.5, 0.75}},
+      {"pairwise overlap (0/0/50/50%)", {0.0, 0.0, 0.5, 0.5}},
+      {"fully aligned (all 0%)", {0.0, 0.0, 0.0, 0.0}},
+  };
+  for (const auto& c : cases) {
+    net::TrafficConfig config;
+    config.cycles = 40000;
+    config.load = 1.0;  // line rate during each tenant's window
+    config.duty_on_fraction = 0.25;
+    config.duty_period = 4000;
+    config.vn_phase_offsets = c.offsets;
+    const net::TrafficGenerator traffic(config, table_ptrs);
+    const auto trace = traffic.generate(11);
+
+    pipeline::MergedRouter router(merged, 28);
+    const pipeline::SimulationResult sim = run_trace(router, trace);
+    out.add_row({c.name, std::to_string(trace.size()),
+                 std::to_string(sim.results.size()),
+                 std::to_string(sim.max_queue_depth),
+                 TextTable::num(sim.engine_utilization[0], 3)});
+  }
+  vr::bench::emit(out);
+  std::cout << "Staggered peaks keep the shared pipeline's queue at the\n"
+               "arrival jitter level: one time-shared engine genuinely\n"
+               "replaces K underutilized dedicated ones. Aligned peaks\n"
+               "exceed the single engine's slot rate -- the residual case\n"
+               "where the separate scheme's K parallel engines matter.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation: the low-power (-1L) vs high-performance (-2) speed grade
+// tradeoff the paper closes with — "-1L gives the same power efficiency as
+// the high-speed platform while consuming ~30 % less power and yielding
+// lower throughput" (Sec. VI-B).
+#include "bench_common.hpp"
+#include "core/validator.hpp"
+
+int main() {
+  using namespace vr;
+  const core::ModelValidator validator{fpga::DeviceSpec::xc6vlx760()};
+
+  SeriesTable table(
+      "Ablation - speed grade tradeoff (VS scheme): power saving and "
+      "efficiency ratio of -1L vs -2",
+      "vn_count",
+      {"power -2 (W)", "power -1L (W)", "saving %", "Gbps -2", "Gbps -1L",
+       "mW/Gbps -2", "mW/Gbps -1L"});
+  for (std::size_t k = 1; k <= 15; ++k) {
+    core::Scenario s;
+    s.scheme = power::Scheme::kSeparate;
+    s.vn_count = k;
+    s.grade = fpga::SpeedGrade::kMinus2;
+    const core::Estimate hi = validator.estimator().estimate(s);
+    s.grade = fpga::SpeedGrade::kMinus1L;
+    const core::Estimate lo = validator.estimator().estimate(s);
+    table.add_point(
+        static_cast<double>(k),
+        {hi.power.total_w(), lo.power.total_w(),
+         (1.0 - lo.power.total_w() / hi.power.total_w()) * 100.0,
+         hi.throughput_gbps, lo.throughput_gbps, hi.mw_per_gbps,
+         lo.mw_per_gbps});
+  }
+  vr::bench::emit(table);
+  return 0;
+}

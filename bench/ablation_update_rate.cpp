@@ -1,0 +1,69 @@
+// Ablation: control-plane update rate (extends the paper's Sec. V-B 1 %
+// write-rate assumption and its reference [6]). Replays BGP-like update
+// streams on the deployment trie to measure the real words-written-per-
+// update, then sweeps updates/second to show (a) the BRAM power shift away
+// from the Table III baseline and (b) the lookup capacity lost to write
+// slots.
+#include "bench_common.hpp"
+#include "fpga/xpe_tables.hpp"
+#include "netbase/update_gen.hpp"
+#include "power/update_power.hpp"
+#include "trie/trie_stats.hpp"
+
+int main() {
+  using namespace vr;
+  constexpr double kFreqMhz = 350.0;
+
+  const net::SyntheticTableGenerator gen(net::TableProfile::edge_default());
+  const net::RoutingTable base = gen.generate(1);
+
+  net::UpdateStreamConfig stream_config;
+  stream_config.update_count = 5000;
+  const net::UpdateStreamGenerator stream_gen(stream_config);
+  const auto stream = stream_gen.generate(base, 7);
+  power::UpdateLoad probe = power::measure_update_load(base, stream, 1.0);
+  std::cout << "Measured words written per update (5000-update BGP-like "
+               "stream): "
+            << TextTable::num(probe.words_per_update, 2) << "\n\n";
+
+  // Baseline Table III BRAM power of the deployment (one engine).
+  const trie::UnibitTrie trie = trie::UnibitTrie(base).leaf_pushed();
+  const trie::TrieStats stats = trie::compute_stats(trie);
+  const trie::StageMapping mapping(stats.nodes_per_level.size(), 28,
+                                   trie::MappingPolicy::kOneLevelPerStage);
+  const trie::StageMemory memory = trie::stage_memory(
+      trie::occupancy(stats, mapping), trie::NodeEncoding{}, 1);
+  std::vector<std::uint64_t> stage_bits;
+  for (std::size_t s = 0; s < 28; ++s) {
+    stage_bits.push_back(memory.stage_bits(s));
+  }
+  const double bram_w =
+      fpga::plan_stage_bram(stage_bits, fpga::BramPolicy::kMixed)
+          .total.power_w(fpga::SpeedGrade::kMinus2, kFreqMhz);
+
+  SeriesTable table(
+      "Ablation - update rate: BRAM power shift and capacity loss "
+      "(grade -2, 350 MHz)",
+      "updates_per_sec",
+      {"write rate", "BRAM mW (Table III)", "BRAM mW (adjusted)",
+       "lookup Gbps", "capacity loss %"});
+  for (const double ups : {0.0, 1e3, 1e4, 1e5, 1e6, 5e6, 1e7}) {
+    power::UpdateLoad load = probe;
+    load.updates_per_second = ups;
+    const double write_rate = load.write_slot_fraction(kFreqMhz);
+    const double adjusted =
+        power::adjusted_bram_power_w(bram_w, std::min(1.0, write_rate));
+    const double gbps = power::effective_lookup_gbps(kFreqMhz, load);
+    const double full = units::lookup_throughput_gbps(
+        kFreqMhz, units::kMinPacketBytes);
+    table.add_point(ups, {write_rate, units::w_to_mw(bram_w),
+                          units::w_to_mw(adjusted), gbps,
+                          (1.0 - gbps / full) * 100.0});
+  }
+  vr::bench::emit(table);
+  std::cout << "At BGP-realistic rates (<= ~100k updates/s) the write rate\n"
+               "stays below the paper's 1% assumption and both the power\n"
+               "and throughput effects are negligible, validating\n"
+               "Assumption 'low update rate' (Sec. V-B).\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared plumbing for the figure/table bench binaries: every binary prints
+// a human-readable table followed by machine-readable CSV so EXPERIMENTS.md
+// can be regenerated from a single run.
+#pragma once
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/figures.hpp"
+
+namespace vr::bench {
+
+/// Paper-sized sweep options (3 725-prefix tables, K = 1..15, N = 28).
+inline core::FigureOptions paper_options() { return core::FigureOptions{}; }
+
+inline void emit(const SeriesTable& table) {
+  table.render(std::cout);
+  std::cout << "\n--- CSV ---\n";
+  table.render_csv(std::cout);
+  std::cout << '\n';
+}
+
+inline void emit(const TextTable& table) {
+  table.render(std::cout);
+  std::cout << "\n--- CSV ---\n";
+  table.render_csv(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace vr::bench

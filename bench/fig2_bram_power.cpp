@@ -1,0 +1,11 @@
+// Regenerates paper Fig. 2: BRAM power of a single 18 Kb / 36 Kb block vs
+// operating frequency for speed grades -2 and -1L.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace vr;
+  const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
+                                    bench::paper_options());
+  bench::emit(builder.fig2_bram_power());
+  return 0;
+}

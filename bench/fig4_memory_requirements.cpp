@@ -1,0 +1,13 @@
+// Regenerates paper Fig. 4: pointer and NHI memory requirements vs number
+// of virtual networks for merged (α = 80 %, α = 20 %) and separate.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace vr;
+  const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
+                                    bench::paper_options());
+  const core::FigureBuilder::Fig4 fig = builder.fig4_memory();
+  bench::emit(fig.pointer_memory);
+  bench::emit(fig.nhi_memory);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Regenerates paper Fig. 5: total power of NV / VS / VM(80 %) / VM(20 %)
+// vs number of virtual networks, for speed grades -2 and -1L, with both
+// the analytical-model and the simulated post-PnR ("experimental") values.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace vr;
+  const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
+                                    bench::paper_options());
+  bench::emit(builder.fig5_total_power(fpga::SpeedGrade::kMinus2));
+  bench::emit(builder.fig5_total_power(fpga::SpeedGrade::kMinus1L));
+  return 0;
+}

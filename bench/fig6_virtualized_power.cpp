@@ -1,0 +1,13 @@
+// Regenerates paper Fig. 6: total (experimental) power of the virtualized
+// schemes only — VS, VM(80 %), VM(20 %) — vs number of virtual networks,
+// where the tool-optimization-driven decrease is visible.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace vr;
+  const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
+                                    bench::paper_options());
+  bench::emit(builder.fig6_virtualized_power(fpga::SpeedGrade::kMinus2));
+  bench::emit(builder.fig6_virtualized_power(fpga::SpeedGrade::kMinus1L));
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Regenerates paper Fig. 7: percentage error of the analytical model
+// against the (simulated) post place-and-route results, per scheme and
+// speed grade. The paper reports a ±3 % maximum; the run prints the
+// observed maximum at the end.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace vr;
+  const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
+                                    bench::paper_options());
+  double worst = 0.0;
+  for (const auto grade :
+       {fpga::SpeedGrade::kMinus2, fpga::SpeedGrade::kMinus1L}) {
+    const SeriesTable fig = builder.fig7_model_error(grade);
+    bench::emit(fig);
+    for (std::size_t s = 0; s < fig.labels().size(); ++s) {
+      for (const double err : fig.series(s)) {
+        worst = std::max(worst, std::fabs(err));
+      }
+    }
+  }
+  std::cout << "max |error| over the sweep: " << worst
+            << " % (paper bound: 3 %)\n";
+  return worst <= 3.0 ? 0 : 1;
+}

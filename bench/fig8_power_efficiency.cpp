@@ -1,0 +1,13 @@
+// Regenerates paper Fig. 8: power dissipated per unit throughput
+// (mW/Gbps) for NV / VS / VM(80 %) / VM(20 %) vs number of virtual
+// networks, for both speed grades.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace vr;
+  const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
+                                    bench::paper_options());
+  bench::emit(builder.fig8_efficiency(fpga::SpeedGrade::kMinus2));
+  bench::emit(builder.fig8_efficiency(fpga::SpeedGrade::kMinus1L));
+  return 0;
+}

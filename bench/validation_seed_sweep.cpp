@@ -1,0 +1,56 @@
+// Statistical validation: the ±3 % model-error bound (Fig. 7) must hold
+// for ANY edge table, not just the default seed. This sweep re-validates
+// the full scheme grid over many synthetic tables and reports the error
+// distribution. Exits non-zero if any point breaches the paper's bound.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "core/validator.hpp"
+
+int main() {
+  using namespace vr;
+  const core::ModelValidator validator{fpga::DeviceSpec::xc6vlx760()};
+
+  RunningStats errors;
+  std::vector<double> samples;
+  double worst = 0.0;
+  core::Scenario worst_scenario;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (const auto scheme :
+         {power::Scheme::kNonVirtualized, power::Scheme::kSeparate,
+          power::Scheme::kMerged}) {
+      for (const std::size_t k : {2ul, 8ul, 15ul}) {
+        core::Scenario s;
+        s.scheme = scheme;
+        s.vn_count = k;
+        s.seed = seed;
+        s.alpha = (seed % 2 == 0) ? 0.2 : 0.8;
+        const core::ValidationPoint point = validator.validate(s);
+        errors.add(point.error_total_pct);
+        samples.push_back(point.error_total_pct);
+        if (std::fabs(point.error_total_pct) > worst) {
+          worst = std::fabs(point.error_total_pct);
+          worst_scenario = s;
+        }
+      }
+    }
+  }
+
+  const Percentiles pct(samples);
+  TextTable table("Model error distribution over 12 seeds x 3 schemes x 3 K");
+  table.set_header({"statistic", "value %"});
+  table.add_row({"points", std::to_string(errors.count())});
+  table.add_row({"mean", TextTable::num(errors.mean(), 3)});
+  table.add_row({"stddev", TextTable::num(errors.stddev(), 3)});
+  table.add_row({"min", TextTable::num(errors.min(), 3)});
+  table.add_row({"p10", TextTable::num(pct.at(0.10), 3)});
+  table.add_row({"median", TextTable::num(pct.at(0.50), 3)});
+  table.add_row({"p90", TextTable::num(pct.at(0.90), 3)});
+  table.add_row({"max", TextTable::num(errors.max(), 3)});
+  table.add_row({"worst |error|", TextTable::num(worst, 3)});
+  vr::bench::emit(table);
+  std::cout << "worst case at: " << worst_scenario.describe()
+            << " (paper bound: 3 %)\n";
+  return worst <= 3.0 ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vr::detail {
+
+void require_failed(const char* condition, const char* file, int line,
+                    const std::string& message) {
+  std::fprintf(stderr, "vrpower: precondition failed at %s:%d: %s\n  %s\n",
+               file, line, condition, message.c_str());
+  std::abort();
+}
+
+}  // namespace vr::detail

@@ -1,0 +1,39 @@
+#include "common/rng.hpp"
+
+namespace vr {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  VR_REQUIRE(bound > 0, "next_below requires a positive bound");
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::size_t Rng::next_weighted(const double* weights,
+                               std::size_t count) noexcept {
+  VR_REQUIRE(count > 0, "next_weighted requires at least one weight");
+  double total = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    VR_REQUIRE(weights[i] >= 0.0, "weights must be non-negative");
+    total += weights[i];
+  }
+  VR_REQUIRE(total > 0.0, "weights must not all be zero");
+  double r = next_double() * total;
+  for (std::size_t i = 0; i < count; ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return count - 1;  // numerical fallback for r landing exactly on total
+}
+
+}  // namespace vr

@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (synthetic routing tables,
+// packet traces, correlated table sets) is seeded explicitly so that all
+// experiments are bit-reproducible across runs and platforms. We implement
+// SplitMix64 (for seeding) and xoshiro256** (for bulk generation) rather
+// than relying on std::mt19937 so that the exact sequences are part of the
+// library contract and documented here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace vr {
+
+/// SplitMix64: tiny, fast generator used to expand a single 64-bit seed into
+/// the 256-bit state of Xoshiro256. Sequence is fixed by Steele et al.'s
+/// reference implementation.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library's workhorse generator. Satisfies
+/// std::uniform_random_bit_generator so it can be used with <random>
+/// distributions, but the helpers below are preferred because their output
+/// is platform-independent.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Samples an index from a discrete distribution given by non-negative
+  /// weights. The weights need not be normalized; their sum must be > 0.
+  std::size_t next_weighted(const double* weights, std::size_t count) noexcept;
+
+  /// Derives an independent child generator; useful for giving each virtual
+  /// network / pipeline its own reproducible stream.
+  [[nodiscard]] Rng fork() noexcept {
+    return Rng(next_u64() ^ 0xa0761d6478bd642fULL);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace vr

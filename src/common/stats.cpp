@@ -1,0 +1,80 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vr {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Percentiles::Percentiles(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  VR_REQUIRE(!sorted_.empty(), "percentile of an empty sample set");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Percentiles::at(double q) const {
+  VR_REQUIRE(q >= 0.0 && q <= 1.0, "percentile rank must be in [0,1]");
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  return Percentiles(std::move(samples)).at(q);
+}
+
+double relative_difference(double a, double b) noexcept {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) / scale;
+}
+
+double percentage_error(double model, double experimental) noexcept {
+  if (experimental == 0.0) return model == 0.0 ? 0.0 : HUGE_VAL;
+  return (model - experimental) / experimental * 100.0;
+}
+
+}  // namespace vr

@@ -1,0 +1,145 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vr {
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> header) {
+  VR_REQUIRE(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  const std::size_t expected = column_count();
+  if (expected != 0) {
+    VR_REQUIRE(row.size() == expected, "row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_numeric_row(const std::string& label,
+                                const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(num(v, precision));
+  add_row(std::move(row));
+}
+
+std::size_t TextTable::column_count() const noexcept {
+  if (!header_.empty()) return header_.size();
+  if (!rows_.empty()) return rows_.front().size();
+  return 0;
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(column_count(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::render_csv(std::ostream& os) const {
+  auto print_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+SeriesTable::SeriesTable(std::string title, std::string x_label,
+                         std::vector<std::string> series_labels)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      series_labels_(std::move(series_labels)) {
+  VR_REQUIRE(!series_labels_.empty(), "SeriesTable needs at least one series");
+}
+
+void SeriesTable::add_point(double x, const std::vector<double>& ys) {
+  VR_REQUIRE(ys.size() == series_labels_.size(),
+             "point width must match series count");
+  xs_.push_back(x);
+  points_.push_back(ys);
+}
+
+std::vector<double> SeriesTable::series(std::size_t s) const {
+  VR_REQUIRE(s < series_labels_.size(), "series index out of range");
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p[s]);
+  return out;
+}
+
+void SeriesTable::render(std::ostream& os, int precision) const {
+  TextTable table(title_);
+  std::vector<std::string> header{x_label_};
+  header.insert(header.end(), series_labels_.begin(), series_labels_.end());
+  table.set_header(std::move(header));
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    table.add_numeric_row(TextTable::num(xs_[i], 0), points_[i], precision);
+  }
+  table.render(os);
+}
+
+void SeriesTable::render_csv(std::ostream& os, int precision) const {
+  TextTable table;
+  std::vector<std::string> header{x_label_};
+  header.insert(header.end(), series_labels_.begin(), series_labels_.end());
+  table.set_header(std::move(header));
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    table.add_numeric_row(TextTable::num(xs_[i], 0), points_[i], precision);
+  }
+  table.render_csv(os);
+}
+
+}  // namespace vr

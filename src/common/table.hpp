@@ -1,0 +1,83 @@
+// Plain-text table and CSV rendering for the benchmark harnesses.
+//
+// Every figure/table bench prints (a) a human-readable aligned table and
+// (b) machine-readable CSV, so EXPERIMENTS.md entries can be regenerated
+// with a single binary run.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vr {
+
+/// Column-aligned text table with an optional title. Cells are strings;
+/// numeric helpers format doubles with a fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; its width must match the header (if any) or the first
+  /// row added.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a row of doubles with `precision` digits after the
+  /// decimal point, prefixed by a string label cell.
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept;
+
+  /// Renders the aligned table.
+  void render(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (fields containing comma/quote/newline are
+  /// quoted, quotes doubled). Includes the header if set.
+  void render_csv(std::ostream& os) const;
+
+  /// Formats a double with fixed precision (helper for manual row building).
+  static std::string num(double value, int precision = 3);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes a labelled series block (x column plus one column per series) —
+/// the common shape of every figure in the paper.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_label,
+              std::vector<std::string> series_labels);
+
+  /// Appends one x position with one value per series.
+  void add_point(double x, const std::vector<double>& ys);
+
+  [[nodiscard]] std::size_t point_count() const noexcept {
+    return xs_.size();
+  }
+  [[nodiscard]] const std::vector<double>& xs() const noexcept { return xs_; }
+  /// Values of series `s` across all points.
+  [[nodiscard]] std::vector<double> series(std::size_t s) const;
+  [[nodiscard]] const std::vector<std::string>& labels() const noexcept {
+    return series_labels_;
+  }
+
+  void render(std::ostream& os, int precision = 3) const;
+  void render_csv(std::ostream& os, int precision = 6) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_labels_;
+  std::vector<double> xs_;
+  std::vector<std::vector<double>> points_;
+};
+
+}  // namespace vr

@@ -1,0 +1,71 @@
+// Unit conventions and conversion helpers.
+//
+// The library passes physical quantities as plain doubles with the unit
+// encoded in the identifier name (e.g. `power_w`, `freq_mhz`, `memory_bits`).
+// This header centralizes the conversion factors so that no magic constants
+// appear in model code. The conventions are:
+//
+//   power        watts (W)            — model outputs
+//   energy       picojoules (pJ)      — per-cycle accounting in the simulator
+//   frequency    megahertz (MHz)      — matches the paper's coefficient units
+//   memory       bits                 — BRAM sizing
+//   throughput   gigabits/second      — the paper's efficiency denominator
+#pragma once
+
+namespace vr::units {
+
+inline constexpr double kMicroPerUnit = 1e6;
+inline constexpr double kMilliPerUnit = 1e3;
+
+/// Converts microwatts to watts.
+constexpr double uw_to_w(double microwatts) noexcept {
+  return microwatts / kMicroPerUnit;
+}
+
+/// Converts watts to microwatts.
+constexpr double w_to_uw(double watts) noexcept {
+  return watts * kMicroPerUnit;
+}
+
+/// Converts watts to milliwatts.
+constexpr double w_to_mw(double watts) noexcept {
+  return watts * kMilliPerUnit;
+}
+
+/// Converts milliwatts to watts.
+constexpr double mw_to_w(double milliwatts) noexcept {
+  return milliwatts / kMilliPerUnit;
+}
+
+/// Kib/Mib in bits, as used for BRAM capacities ("18 Kb block", "26 Mb").
+inline constexpr double kKibit = 1024.0;
+inline constexpr double kMibit = 1024.0 * 1024.0;
+
+/// A power coefficient of the form `P(µW) = c · f(MHz)` is numerically equal
+/// to an energy of `c` picojoules per clock cycle:
+///   P = c·f µW = c·f·1e-6 W; cycles/s = f·1e6; E = P/cycles = c·1e-12 J.
+/// This identity lets the cycle-level pipeline simulator account energy with
+/// the same coefficients the analytical model uses.
+constexpr double uw_per_mhz_to_pj_per_cycle(double coefficient) noexcept {
+  return coefficient;
+}
+
+/// Average power (W) of `energy_pj` picojoules spent over `cycles` cycles at
+/// `freq_mhz` MHz: P = E / t, t = cycles / (f·1e6).
+constexpr double pj_over_cycles_to_w(double energy_pj, double cycles,
+                                     double freq_mhz) noexcept {
+  if (cycles <= 0.0) return 0.0;
+  return energy_pj * 1e-12 / (cycles / (freq_mhz * 1e6));
+}
+
+/// Throughput in Gbps of one lookup pipeline issuing one packet per cycle at
+/// `freq_mhz` MHz with minimum-size packets of `packet_bytes` bytes.
+/// The paper (Sec. VI-B) uses 40-byte packets: Gbps = 0.32 · f(MHz).
+constexpr double lookup_throughput_gbps(double freq_mhz,
+                                        double packet_bytes) noexcept {
+  return freq_mhz * 1e6 * packet_bytes * 8.0 / 1e9;
+}
+
+inline constexpr double kMinPacketBytes = 40.0;
+
+}  // namespace vr::units

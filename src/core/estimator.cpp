@@ -1,0 +1,134 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "power/efficiency.hpp"
+
+namespace vr::core {
+
+PowerEstimator::PowerEstimator(fpga::DeviceSpec device,
+                               fpga::FreqModelParams freq_params)
+    : device_(std::move(device)),
+      freq_params_(freq_params),
+      model_(device_) {}
+
+Estimate PowerEstimator::estimate(const Scenario& scenario) const {
+  const Workload workload = realize_workload(scenario);
+  return estimate(scenario, workload);
+}
+
+double PowerEstimator::operating_frequency_mhz(const Scenario& scenario,
+                                               const Workload& workload)
+    const {
+  // Resources of the most congested single device of the deployment.
+  fpga::DesignResources resources;
+  const bool merged = scenario.scheme == power::Scheme::kMerged;
+  const power::EngineSpec& engine =
+      merged ? workload.merged_engine : workload.per_vn_engine;
+  VR_REQUIRE(!engine.stage_bits.empty(), "workload engine is empty");
+  const std::size_t engines_on_device = power::engines_per_device(
+      scenario.scheme, scenario.vn_count);
+
+  std::vector<std::uint64_t> device_stage_bits;
+  device_stage_bits.reserve(engine.stage_bits.size() * engines_on_device);
+  const bool heterogeneous = !merged &&
+                             !workload.heterogeneous_engines.empty() &&
+                             scenario.scheme == power::Scheme::kSeparate;
+  for (std::size_t e = 0; e < engines_on_device; ++e) {
+    const power::EngineSpec& placed =
+        heterogeneous ? workload.heterogeneous_engines[e] : engine;
+    device_stage_bits.insert(device_stage_bits.end(),
+                             placed.stage_bits.begin(),
+                             placed.stage_bits.end());
+  }
+  const fpga::StageBramPlan plan =
+      fpga::plan_stage_bram(device_stage_bits, scenario.bram_policy);
+  resources.max_stage_blocks36eq = plan.max_stage_blocks36eq;
+  resources.bram_halves = plan.total.halves();
+  resources.pipelines = engines_on_device;
+
+  const double fmax = fpga::achievable_fmax_mhz(device_, scenario.grade,
+                                                resources, freq_params_);
+  return scenario.freq_mhz > 0.0 ? std::min(scenario.freq_mhz, fmax) : fmax;
+}
+
+Estimate PowerEstimator::estimate(const Scenario& scenario,
+                                  const Workload& workload) const {
+  Estimate out;
+  out.alpha_used = workload.alpha_used;
+  out.freq_mhz = operating_frequency_mhz(scenario, workload);
+
+  power::OperatingPoint op;
+  op.grade = scenario.grade;
+  op.bram_policy = scenario.bram_policy;
+  op.freq_mhz = out.freq_mhz;
+  op.utilization = scenario.utilization;
+
+  const trie::NodeEncoding encoding;
+  switch (scenario.scheme) {
+    case power::Scheme::kNonVirtualized:
+    case power::Scheme::kSeparate: {
+      // Assumption 2 relaxation: per-VN engines when the workload built
+      // heterogeneous tables.
+      const std::vector<power::EngineSpec> engines =
+          workload.heterogeneous_engines.empty()
+              ? std::vector<power::EngineSpec>(scenario.vn_count,
+                                               workload.per_vn_engine)
+              : workload.heterogeneous_engines;
+      out.power = scenario.scheme == power::Scheme::kNonVirtualized
+                      ? model_.estimate_nv(engines, op)
+                      : model_.estimate_vs(engines, op);
+      // Resources (Eqs. 1/3) from the per-VN memory image.
+      trie::StageMemory per_vn;
+      per_vn.pointer_bits.assign(workload.per_vn_engine.stage_bits.size(), 0);
+      per_vn.nhi_bits.assign(workload.per_vn_engine.stage_bits.size(), 0);
+      // Recompute split from the representative stats for reporting.
+      const trie::StageMapping mapping(
+          workload.representative_stats.nodes_per_level.size(),
+          scenario.stages, trie::MappingPolicy::kOneLevelPerStage);
+      per_vn = trie::stage_memory(
+          trie::occupancy(workload.representative_stats, mapping), encoding,
+          1);
+      out.resources = power::replicated_resources(
+          scenario.scheme, per_vn, scenario.vn_count, scenario.bram_policy);
+      break;
+    }
+    case power::Scheme::kMerged: {
+      out.power = model_.estimate_vm(workload.merged_engine,
+                                     scenario.vn_count, op);
+      // Rebuild the pointer/NHI split for the resource report.
+      trie::StageMemory merged_memory;
+      if (scenario.merged_source == MergedSource::kStructural &&
+          workload.merged_trie.has_value()) {
+        const trie::TrieStats merged_stats =
+            workload.merged_trie->stats_as_trie();
+        const trie::StageMapping merged_mapping(
+            merged_stats.nodes_per_level.size(), scenario.stages,
+            trie::MappingPolicy::kOneLevelPerStage);
+        merged_memory = trie::stage_memory(
+            trie::occupancy(merged_stats, merged_mapping), encoding,
+            scenario.vn_count);
+      } else {
+        const trie::StageMapping mapping(
+            workload.representative_stats.nodes_per_level.size(),
+            scenario.stages, trie::MappingPolicy::kOneLevelPerStage);
+        merged_memory = virt::predict_merged_stage_memory(
+            workload.representative_stats, mapping, encoding,
+            scenario.vn_count, workload.alpha_used, scenario.merged_rule);
+      }
+      out.resources = power::merged_resources(
+          merged_memory, scenario.vn_count, scenario.bram_policy);
+      break;
+    }
+  }
+
+  out.fit = power::check_fit(out.resources, device_);
+  out.throughput_gbps = power::aggregate_throughput_gbps(
+      scenario.scheme, scenario.vn_count, out.freq_mhz);
+  out.mw_per_gbps = power::mw_per_gbps(out.power.total_w(),
+                                       out.throughput_gbps);
+  return out;
+}
+
+}  // namespace vr::core

@@ -1,0 +1,243 @@
+#include "core/figures.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "fpga/xpe_tables.hpp"
+#include "trie/unibit_trie.hpp"
+
+namespace vr::core {
+
+namespace {
+
+constexpr double kFreqStartMhz = 100.0;
+constexpr double kFreqStopMhz = 500.0;
+constexpr double kFreqStepMhz = 50.0;
+
+double bits_to_kbits(double bits) { return bits / 1024.0; }
+
+}  // namespace
+
+FigureBuilder::FigureBuilder(fpga::DeviceSpec device, FigureOptions options,
+                             fpga::PnrEffects effects,
+                             fpga::FreqModelParams freq_params)
+    : device_(std::move(device)),
+      options_(options),
+      validator_(device_, effects, freq_params) {}
+
+Scenario FigureBuilder::sweep_scenario(power::Scheme scheme,
+                                       std::size_t vn_count, double alpha,
+                                       fpga::SpeedGrade grade) const {
+  Scenario s;
+  s.scheme = scheme;
+  s.vn_count = vn_count;
+  s.grade = grade;
+  s.bram_policy = options_.bram_policy;
+  s.stages = options_.stages;
+  s.alpha = alpha;
+  s.merged_source = options_.merged_source;
+  s.table_profile = options_.table_profile;
+  s.seed = options_.seed;
+  return s;
+}
+
+SeriesTable FigureBuilder::fig2_bram_power() const {
+  SeriesTable table(
+      "Fig. 2 - BRAM power vs operating frequency (single block, mW)",
+      "freq_mhz",
+      {"18Kb(-2)", "36Kb(-2)", "18Kb(-1L)", "36Kb(-1L)"});
+  for (double f = kFreqStartMhz; f <= kFreqStopMhz; f += kFreqStepMhz) {
+    table.add_point(
+        f,
+        {units::w_to_mw(fpga::XpeTables::bram_power_w(
+             fpga::BramKind::k18, fpga::SpeedGrade::kMinus2, 1, f)),
+         units::w_to_mw(fpga::XpeTables::bram_power_w(
+             fpga::BramKind::k36, fpga::SpeedGrade::kMinus2, 1, f)),
+         units::w_to_mw(fpga::XpeTables::bram_power_w(
+             fpga::BramKind::k18, fpga::SpeedGrade::kMinus1L, 1, f)),
+         units::w_to_mw(fpga::XpeTables::bram_power_w(
+             fpga::BramKind::k36, fpga::SpeedGrade::kMinus1L, 1, f))});
+  }
+  return table;
+}
+
+SeriesTable FigureBuilder::fig3_logic_power() const {
+  SeriesTable table(
+      "Fig. 3 - per-stage logic+signal power vs frequency (mW)", "freq_mhz",
+      {"stage(-2)", "stage(-1L)"});
+  for (double f = kFreqStartMhz; f <= kFreqStopMhz; f += kFreqStepMhz) {
+    table.add_point(
+        f, {units::w_to_mw(fpga::XpeTables::logic_power_w(
+                fpga::SpeedGrade::kMinus2, 1, f)),
+            units::w_to_mw(fpga::XpeTables::logic_power_w(
+                fpga::SpeedGrade::kMinus1L, 1, f))});
+  }
+  return table;
+}
+
+FigureBuilder::Fig4 FigureBuilder::fig4_memory() const {
+  const std::string hi = "merged(a=" +
+                         TextTable::num(options_.alpha_high * 100.0, 0) +
+                         "%)";
+  const std::string lo = "merged(a=" +
+                         TextTable::num(options_.alpha_low * 100.0, 0) + "%)";
+  Fig4 fig{
+      SeriesTable("Fig. 4 (left) - pointer memory vs #VNs (Kbits)",
+                  "vn_count", {hi, lo, "separate"}),
+      SeriesTable("Fig. 4 (right) - NHI memory vs #VNs (Kbits)", "vn_count",
+                  {hi, lo, "separate"}),
+  };
+  const PowerEstimator& estimator = validator_.estimator();
+  for (std::size_t k = 1; k <= options_.memory_max_vn; ++k) {
+    double ptr[3] = {0, 0, 0};
+    double nhi[3] = {0, 0, 0};
+    const double alphas[2] = {options_.alpha_high, options_.alpha_low};
+    for (int a = 0; a < 2; ++a) {
+      const Scenario s = sweep_scenario(power::Scheme::kMerged, k, alphas[a],
+                                        fpga::SpeedGrade::kMinus2);
+      const Estimate est = estimator.estimate(s);
+      ptr[a] = bits_to_kbits(static_cast<double>(est.resources.pointer_bits));
+      nhi[a] = bits_to_kbits(static_cast<double>(est.resources.nhi_bits));
+    }
+    {
+      const Scenario s = sweep_scenario(power::Scheme::kSeparate, k, 1.0,
+                                        fpga::SpeedGrade::kMinus2);
+      const Estimate est = estimator.estimate(s);
+      ptr[2] = bits_to_kbits(static_cast<double>(est.resources.pointer_bits));
+      nhi[2] = bits_to_kbits(static_cast<double>(est.resources.nhi_bits));
+    }
+    fig.pointer_memory.add_point(static_cast<double>(k),
+                                 {ptr[0], ptr[1], ptr[2]});
+    fig.nhi_memory.add_point(static_cast<double>(k),
+                             {nhi[0], nhi[1], nhi[2]});
+  }
+  return fig;
+}
+
+SeriesTable FigureBuilder::fig5_total_power(fpga::SpeedGrade grade) const {
+  SeriesTable table(
+      std::string("Fig. 5 - total power vs #VNs, grade ") +
+          fpga::to_string(grade) + " (W; model | experimental)",
+      "vn_count",
+      {"NV model", "NV exp", "VS model", "VS exp", "VM80 model", "VM80 exp",
+       "VM20 model", "VM20 exp"});
+  for (std::size_t k = 1; k <= options_.max_vn; ++k) {
+    std::vector<double> row;
+    const struct {
+      power::Scheme scheme;
+      double alpha;
+    } cases[] = {{power::Scheme::kNonVirtualized, 1.0},
+                 {power::Scheme::kSeparate, 1.0},
+                 {power::Scheme::kMerged, options_.alpha_high},
+                 {power::Scheme::kMerged, options_.alpha_low}};
+    for (const auto& c : cases) {
+      const ValidationPoint point =
+          validator_.validate(sweep_scenario(c.scheme, k, c.alpha, grade));
+      row.push_back(point.model.power.total_w());
+      row.push_back(point.experiment.power.total_w());
+    }
+    table.add_point(static_cast<double>(k), row);
+  }
+  return table;
+}
+
+SeriesTable FigureBuilder::fig6_virtualized_power(
+    fpga::SpeedGrade grade) const {
+  SeriesTable table(
+      std::string("Fig. 6 - virtualized schemes total power vs #VNs, grade ") +
+          fpga::to_string(grade) + " (W, experimental)",
+      "vn_count", {"VS", "VM80", "VM20"});
+  for (std::size_t k = 1; k <= options_.max_vn; ++k) {
+    std::vector<double> row;
+    const struct {
+      power::Scheme scheme;
+      double alpha;
+    } cases[] = {{power::Scheme::kSeparate, 1.0},
+                 {power::Scheme::kMerged, options_.alpha_high},
+                 {power::Scheme::kMerged, options_.alpha_low}};
+    for (const auto& c : cases) {
+      const ValidationPoint point =
+          validator_.validate(sweep_scenario(c.scheme, k, c.alpha, grade));
+      row.push_back(point.experiment.power.total_w());
+    }
+    table.add_point(static_cast<double>(k), row);
+  }
+  return table;
+}
+
+SeriesTable FigureBuilder::fig7_model_error(fpga::SpeedGrade grade) const {
+  SeriesTable table(
+      std::string("Fig. 7 - model percentage error vs #VNs, grade ") +
+          fpga::to_string(grade) + " (%)",
+      "vn_count", {"NV", "VS", "VM80", "VM20"});
+  for (std::size_t k = 1; k <= options_.max_vn; ++k) {
+    std::vector<double> row;
+    const struct {
+      power::Scheme scheme;
+      double alpha;
+    } cases[] = {{power::Scheme::kNonVirtualized, 1.0},
+                 {power::Scheme::kSeparate, 1.0},
+                 {power::Scheme::kMerged, options_.alpha_high},
+                 {power::Scheme::kMerged, options_.alpha_low}};
+    for (const auto& c : cases) {
+      const ValidationPoint point =
+          validator_.validate(sweep_scenario(c.scheme, k, c.alpha, grade));
+      row.push_back(point.error_total_pct);
+    }
+    table.add_point(static_cast<double>(k), row);
+  }
+  return table;
+}
+
+SeriesTable FigureBuilder::fig8_efficiency(fpga::SpeedGrade grade) const {
+  SeriesTable table(
+      std::string("Fig. 8 - power per unit throughput vs #VNs, grade ") +
+          fpga::to_string(grade) + " (mW/Gbps, experimental)",
+      "vn_count", {"NV", "VS", "VM80", "VM20"});
+  for (std::size_t k = 1; k <= options_.max_vn; ++k) {
+    std::vector<double> row;
+    const struct {
+      power::Scheme scheme;
+      double alpha;
+    } cases[] = {{power::Scheme::kNonVirtualized, 1.0},
+                 {power::Scheme::kSeparate, 1.0},
+                 {power::Scheme::kMerged, options_.alpha_high},
+                 {power::Scheme::kMerged, options_.alpha_low}};
+    for (const auto& c : cases) {
+      const ExperimentResult exp = validator_.runner().run(
+          sweep_scenario(c.scheme, k, c.alpha, grade));
+      row.push_back(exp.mw_per_gbps);
+    }
+    table.add_point(static_cast<double>(k), row);
+  }
+  return table;
+}
+
+TextTable FigureBuilder::table_trie_stats() const {
+  TextTable table("Sec. V-E - representative routing table and trie");
+  table.set_header({"quantity", "this repro", "paper"});
+  const net::SyntheticTableGenerator gen(options_.table_profile);
+  const net::RoutingTable routing_table = gen.generate(options_.seed);
+  const trie::UnibitTrie raw(routing_table);
+  const trie::UnibitTrie pushed = raw.leaf_pushed();
+  table.add_row({"prefixes", std::to_string(routing_table.size()), "3725"});
+  table.add_row({"trie nodes (no leaf push)", std::to_string(raw.node_count()),
+                 "9726"});
+  table.add_row({"trie nodes (leaf pushed)",
+                 std::to_string(pushed.node_count()), "16127"});
+  table.add_row(
+      {"nodes/prefix (raw)",
+       TextTable::num(static_cast<double>(raw.node_count()) /
+                          static_cast<double>(routing_table.size()),
+                      2),
+       TextTable::num(9726.0 / 3725.0, 2)});
+  table.add_row(
+      {"leaf-push expansion",
+       TextTable::num(static_cast<double>(pushed.node_count()) /
+                          static_cast<double>(raw.node_count()),
+                      2),
+       TextTable::num(16127.0 / 9726.0, 2)});
+  return table;
+}
+
+}  // namespace vr::core

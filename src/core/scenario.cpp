@@ -1,0 +1,20 @@
+#include "core/scenario.hpp"
+
+#include <sstream>
+
+namespace vr::core {
+
+std::string Scenario::describe() const {
+  std::ostringstream os;
+  os << power::to_string(scheme) << " K=" << vn_count << " grade "
+     << fpga::to_string(grade) << " N=" << stages;
+  if (scheme == power::Scheme::kMerged) {
+    os << " alpha=" << alpha
+       << (merged_source == MergedSource::kStructural ? " (structural)"
+                                                      : " (analytic)");
+  }
+  if (freq_mhz > 0.0) os << " f=" << freq_mhz << "MHz";
+  return os.str();
+}
+
+}  // namespace vr::core

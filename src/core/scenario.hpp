@@ -1,0 +1,62 @@
+// Scenario: a complete description of one virtual-router deployment to be
+// power-analyzed — the tuple the paper varies across its evaluation
+// (scheme, K, α, speed grade, pipeline depth, table profile, utilization).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/bram.hpp"
+#include "fpga/device.hpp"
+#include "netbase/table_gen.hpp"
+#include "power/scheme.hpp"
+#include "virt/overlap_model.hpp"
+
+namespace vr::core {
+
+/// How the merged trie's size is obtained.
+enum class MergedSource {
+  /// Closed-form overlap model at `alpha` (the paper's parametric mode).
+  kAnalyticAlpha,
+  /// Build K correlated tables targeting `alpha`, structurally merge them
+  /// and measure (slower; used for validation and the table-driven benches).
+  kStructural,
+};
+
+struct Scenario {
+  power::Scheme scheme = power::Scheme::kSeparate;
+  std::size_t vn_count = 4;  ///< K
+  fpga::SpeedGrade grade = fpga::SpeedGrade::kMinus2;
+  fpga::BramPolicy bram_policy = fpga::BramPolicy::kMixed;
+  std::size_t stages = 28;  ///< N (Sec. VI: all pipelines 28 stages)
+
+  /// Operating clock in MHz; 0 = run at the post-PnR achievable Fmax.
+  double freq_mhz = 0.0;
+
+  /// Merging efficiency for the merged scheme.
+  double alpha = 0.8;
+  MergedSource merged_source = MergedSource::kAnalyticAlpha;
+  virt::MergedMemoryRule merged_rule =
+      virt::MergedMemoryRule::kOverlapConsistent;
+
+  /// Routing-table profile for the representative per-VN table
+  /// (Assumption 2: all VNs equal).
+  net::TableProfile table_profile = net::TableProfile::edge_default();
+  std::uint64_t seed = 1;
+  bool leaf_push = true;  ///< deploy leaf-pushed tries (Sec. V-D)
+
+  /// Assumption 2 relaxation: per-VN table sizes are spread geometrically
+  /// around the profile's prefix_count by this factor (0 = all equal;
+  /// 0.5 = VN sizes range over roughly [2/3, 3/2] of the nominal count).
+  /// Only NV/VS use per-VN engines; the merged scheme keeps the
+  /// α-parameterized aggregate.
+  double table_size_spread = 0.0;
+
+  /// Per-VN utilizations µ_i; empty = uniform 1/K (Assumption 1).
+  std::vector<double> utilization;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace vr::core

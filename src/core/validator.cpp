@@ -1,0 +1,50 @@
+#include "core/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace vr::core {
+
+ModelValidator::ModelValidator(fpga::DeviceSpec device,
+                               fpga::PnrEffects effects,
+                               fpga::FreqModelParams freq_params)
+    : estimator_(device, freq_params),
+      runner_(std::move(device), effects, freq_params) {}
+
+ValidationPoint ModelValidator::validate(const Scenario& scenario) const {
+  ValidationPoint point;
+  point.scenario = scenario;
+  const Workload workload = realize_workload(scenario);
+  point.model = estimator_.estimate(scenario, workload);
+  point.experiment = runner_.run(scenario, workload);
+  point.error_total_pct = percentage_error(
+      point.model.power.total_w(), point.experiment.power.total_w());
+  point.error_static_pct = percentage_error(
+      point.model.power.static_w, point.experiment.power.static_w);
+  point.error_dynamic_pct = percentage_error(
+      point.model.power.dynamic_w(), point.experiment.power.dynamic_w());
+  return point;
+}
+
+std::vector<ValidationPoint> ModelValidator::validate_all(
+    const std::vector<Scenario>& scenarios) const {
+  std::vector<ValidationPoint> points;
+  points.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios) {
+    points.push_back(validate(scenario));
+  }
+  return points;
+}
+
+double ModelValidator::max_abs_error_pct(
+    const std::vector<ValidationPoint>& points) {
+  double worst = 0.0;
+  for (const ValidationPoint& p : points) {
+    worst = std::max(worst, std::fabs(p.error_total_pct));
+  }
+  return worst;
+}
+
+}  // namespace vr::core

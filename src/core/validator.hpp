@@ -1,0 +1,52 @@
+// ModelValidator — reproduces the paper's Sec. VI-A validation: for each
+// scenario, run the analytical model and the (simulated) post-PnR analysis
+// and report the percentage error
+//     (P_model − P_experimental) / P_experimental × 100,
+// which the paper bounds at ±3 %.
+#pragma once
+
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/experiment.hpp"
+
+namespace vr::core {
+
+struct ValidationPoint {
+  Scenario scenario;
+  Estimate model;
+  ExperimentResult experiment;
+  double error_total_pct = 0.0;
+  double error_static_pct = 0.0;
+  double error_dynamic_pct = 0.0;
+};
+
+class ModelValidator {
+ public:
+  ModelValidator(fpga::DeviceSpec device, fpga::PnrEffects effects = {},
+                 fpga::FreqModelParams freq_params = {});
+
+  /// Validates one scenario (realizing its workload once for both sides).
+  [[nodiscard]] ValidationPoint validate(const Scenario& scenario) const;
+
+  /// Validates a grid of scenarios.
+  [[nodiscard]] std::vector<ValidationPoint> validate_all(
+      const std::vector<Scenario>& scenarios) const;
+
+  /// Largest |total error| over a set of points.
+  [[nodiscard]] static double max_abs_error_pct(
+      const std::vector<ValidationPoint>& points);
+
+  [[nodiscard]] const PowerEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+  [[nodiscard]] const ExperimentRunner& runner() const noexcept {
+    return runner_;
+  }
+
+ private:
+  PowerEstimator estimator_;
+  ExperimentRunner runner_;
+};
+
+}  // namespace vr::core

@@ -1,0 +1,24 @@
+#include "dataplane/editor.hpp"
+
+namespace vr::dataplane {
+
+std::optional<ForwardedPacket> Editor::edit(
+    const ParsedPacket& packet, std::optional<net::NextHop> next_hop) {
+  if (!next_hop.has_value()) {
+    ++stats_.no_route;
+    return std::nullopt;
+  }
+  ForwardedPacket out;
+  out.vnid = packet.vnid;
+  out.port = *next_hop;
+  out.header = packet.header;
+  out.payload_bytes = packet.payload_bytes;
+  if (!out.header.decrement_ttl() || out.header.ttl == 0) {
+    ++stats_.ttl_expired;
+    return std::nullopt;
+  }
+  ++stats_.forwarded;
+  return out;
+}
+
+}  // namespace vr::dataplane

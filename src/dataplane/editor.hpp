@@ -1,0 +1,46 @@
+// Header-editing stage: applies the forwarding rewrite after lookup — TTL
+// decrement with the RFC 1624 incremental checksum update (the operation
+// FPGA routers implement without a full checksum recompute).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dataplane/parser.hpp"
+#include "netbase/prefix.hpp"
+
+namespace vr::dataplane {
+
+/// A packet after lookup + editing, bound for the scheduler.
+struct ForwardedPacket {
+  net::VnId vnid = 0;
+  net::NextHop port = net::kNoRoute;
+  net::Ipv4Header header;
+  std::uint16_t payload_bytes = 0;
+
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return net::Ipv4Header::kSize + payload_bytes;
+  }
+};
+
+struct EditorStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t no_route = 0;     ///< lookup returned nothing: drop
+  std::uint64_t ttl_expired = 0;  ///< TTL hit zero at decrement: drop
+};
+
+/// Single-cycle editor.
+class Editor {
+ public:
+  /// Applies the next hop and rewrites the header. Returns nullopt when
+  /// the packet must be dropped (no route / TTL expiry).
+  [[nodiscard]] std::optional<ForwardedPacket> edit(
+      const ParsedPacket& packet, std::optional<net::NextHop> next_hop);
+
+  [[nodiscard]] const EditorStats& stats() const noexcept { return stats_; }
+
+ private:
+  EditorStats stats_;
+};
+
+}  // namespace vr::dataplane

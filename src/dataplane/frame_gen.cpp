@@ -1,0 +1,56 @@
+#include "dataplane/frame_gen.hpp"
+
+#include "common/error.hpp"
+
+namespace vr::dataplane {
+
+FrameGenerator::FrameGenerator(FrameGenConfig config,
+                               std::vector<const net::RoutingTable*> tables)
+    : config_(std::move(config)),
+      traffic_(config_.traffic, std::move(tables)) {
+  VR_REQUIRE(config_.corrupt_fraction >= 0.0 &&
+                 config_.corrupt_fraction <= 1.0,
+             "corrupt_fraction must be in [0,1]");
+  VR_REQUIRE(config_.expiring_ttl_fraction >= 0.0 &&
+                 config_.expiring_ttl_fraction <= 1.0,
+             "expiring_ttl_fraction must be in [0,1]");
+  VR_REQUIRE(!config_.payload_sizes.empty() &&
+                 config_.payload_sizes.size() ==
+                     config_.payload_weights.size(),
+             "payload size/weight lists must be non-empty and equal");
+}
+
+std::vector<IngressFrame> FrameGenerator::generate(std::uint64_t seed) const {
+  const auto timed = traffic_.generate(seed);
+  Rng rng(seed ^ 0x0f0f0f0fULL);
+  std::vector<IngressFrame> frames;
+  frames.reserve(timed.size());
+  std::uint16_t next_id = 0;
+  for (const net::TimedPacket& tp : timed) {
+    IngressFrame frame;
+    frame.cycle = tp.cycle;
+    frame.vnid = tp.packet.vnid;
+    frame.payload_bytes = config_.payload_sizes[rng.next_weighted(
+        config_.payload_weights.data(), config_.payload_weights.size())];
+
+    net::Ipv4Header& header = frame.header;
+    header.destination = tp.packet.addr;
+    header.source =
+        net::Ipv4(static_cast<std::uint32_t>(rng.next_u64()));
+    header.dscp = static_cast<std::uint8_t>(rng.next_below(4) << 3);
+    header.identification = next_id++;
+    header.total_length = static_cast<std::uint16_t>(
+        net::Ipv4Header::kSize + frame.payload_bytes);
+    header.ttl = rng.next_bool(config_.expiring_ttl_fraction)
+                     ? static_cast<std::uint8_t>(rng.next_below(2))
+                     : static_cast<std::uint8_t>(rng.next_in(2, 64));
+    header.checksum = header.compute_checksum();
+    if (rng.next_bool(config_.corrupt_fraction)) {
+      header.checksum = static_cast<std::uint16_t>(header.checksum ^ 0x5555);
+    }
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+}  // namespace vr::dataplane

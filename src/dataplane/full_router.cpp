@@ -1,0 +1,124 @@
+#include "dataplane/full_router.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vr::dataplane {
+
+std::vector<double> FullRouterResult::goodput_shares() const {
+  std::vector<double> shares(scheduler.bytes_per_vn.size(), 0.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : scheduler.bytes_per_vn) total += b;
+  if (total == 0) return shares;
+  for (std::size_t v = 0; v < shares.size(); ++v) {
+    shares[v] = static_cast<double>(scheduler.bytes_per_vn[v]) /
+                static_cast<double>(total);
+  }
+  return shares;
+}
+
+std::vector<double> FullRouterResult::mean_queueing_cycles(
+    std::size_t vn_count) const {
+  std::vector<double> sums(vn_count, 0.0);
+  std::vector<std::uint64_t> counts(vn_count, 0);
+  for (const EgressRecord& record : egress) {
+    sums[record.vnid] += static_cast<double>(record.queueing_cycles);
+    ++counts[record.vnid];
+  }
+  for (std::size_t v = 0; v < vn_count; ++v) {
+    if (counts[v] > 0) sums[v] /= static_cast<double>(counts[v]);
+  }
+  return sums;
+}
+
+FullRouterResult run_full_router(pipeline::VirtualRouter& lookup,
+                                 std::vector<IngressFrame> frames,
+                                 const FullRouterConfig& config) {
+  VR_REQUIRE(config.scheduler.vn_count == lookup.vn_count(),
+             "scheduler and lookup must agree on the VN count");
+  std::sort(frames.begin(), frames.end(),
+            [](const IngressFrame& a, const IngressFrame& b) {
+              return a.cycle < b.cycle;
+            });
+
+  FullRouterResult result;
+  Parser parser;
+  Editor editor;
+  DrrScheduler scheduler(config.scheduler);
+
+  // Per-VN FIFO of parsed packets awaiting their lookup result. Both the
+  // separate router (per-engine in-order pipelines) and the merged router
+  // (single in-order pipeline) preserve per-VN completion order, so a
+  // FIFO per VN reassociates results with full packets.
+  std::vector<std::deque<ParsedPacket>> awaiting(lookup.vn_count());
+  std::deque<ParsedPacket> lookup_backlog;
+  std::vector<pipeline::LookupResult> lookup_done;
+
+  std::size_t next_frame = 0;
+  std::uint64_t cycle = 0;
+  const auto work_pending = [&] {
+    if (next_frame < frames.size() || !lookup_backlog.empty()) return true;
+    if (!lookup.drained() || !scheduler.empty()) return true;
+    for (const auto& fifo : awaiting) {
+      if (!fifo.empty()) return true;
+    }
+    return false;
+  };
+
+  while (work_pending()) {
+    // 1. Arrivals through the parser.
+    while (next_frame < frames.size() &&
+           frames[next_frame].cycle <= cycle) {
+      const IngressFrame& frame = frames[next_frame];
+      if (const auto parsed = parser.accept(frame.vnid, frame.header,
+                                            frame.payload_bytes)) {
+        lookup_backlog.push_back(*parsed);
+      }
+      ++next_frame;
+    }
+    result.max_lookup_queue =
+        std::max(result.max_lookup_queue, lookup_backlog.size());
+
+    // 2. Inject into the lookup stage (back-pressure respected).
+    for (std::size_t burst = 0; burst < lookup_backlog.size();) {
+      const ParsedPacket& head = lookup_backlog[burst];
+      const net::Packet request{head.header.destination, head.vnid};
+      if (lookup.offer(request)) {
+        awaiting[head.vnid].push_back(head);
+        lookup_backlog.erase(lookup_backlog.begin() +
+                             static_cast<std::ptrdiff_t>(burst));
+      } else {
+        ++burst;
+      }
+    }
+
+    // 3. Lookup pipeline advances; completed lookups go to the editor and
+    //    then the scheduler.
+    lookup_done.clear();
+    lookup.tick(&lookup_done);
+    for (const pipeline::LookupResult& done : lookup_done) {
+      auto& fifo = awaiting[done.packet.vnid];
+      VR_REQUIRE(!fifo.empty(), "lookup completed with no awaiting packet");
+      const ParsedPacket parsed = fifo.front();
+      fifo.pop_front();
+      VR_REQUIRE(parsed.header.destination == done.packet.addr,
+                 "per-VN completion order violated");
+      if (const auto forwarded = editor.edit(parsed, done.next_hop)) {
+        scheduler.enqueue(*forwarded, cycle);
+      }
+    }
+
+    // 4. Egress transmission.
+    scheduler.tick(cycle, &result.egress);
+    ++cycle;
+  }
+
+  result.parser = parser.stats();
+  result.editor = editor.stats();
+  result.scheduler = scheduler.stats();
+  result.cycles = cycle;
+  return result;
+}
+
+}  // namespace vr::dataplane

@@ -1,0 +1,128 @@
+#include "dataplane/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vr::dataplane {
+
+DrrScheduler::DrrScheduler(SchedulerConfig config)
+    : config_(std::move(config)) {
+  VR_REQUIRE(config_.port_count >= 1, "need at least one port");
+  VR_REQUIRE(config_.vn_count >= 1, "need at least one VN");
+  VR_REQUIRE(config_.queue_capacity >= 1, "queues need capacity");
+  VR_REQUIRE(config_.bytes_per_cycle > 0.0, "link rate must be positive");
+  if (!config_.vn_weights.empty()) {
+    VR_REQUIRE(config_.vn_weights.size() == config_.vn_count,
+               "vn_weights size must equal vn_count");
+    for (const double w : config_.vn_weights) {
+      VR_REQUIRE(w > 0.0, "DRR weights must be positive");
+    }
+  }
+  ports_.resize(config_.port_count);
+  for (PortState& port : ports_) {
+    port.queues.resize(config_.vn_count);
+    port.deficit.assign(config_.vn_count, 0.0);
+  }
+  stats_.bytes_per_vn.assign(config_.vn_count, 0);
+}
+
+double DrrScheduler::quantum_for(net::VnId vn) const {
+  const double weight =
+      config_.vn_weights.empty() ? 1.0 : config_.vn_weights[vn];
+  return static_cast<double>(config_.base_quantum_bytes) * weight;
+}
+
+bool DrrScheduler::enqueue(const ForwardedPacket& packet,
+                           std::uint64_t cycle) {
+  VR_REQUIRE(packet.vnid < config_.vn_count, "VNID out of range");
+  const std::size_t port_index = packet.port % config_.port_count;
+  auto& queue = ports_[port_index].queues[packet.vnid];
+  if (queue.size() >= config_.queue_capacity) {
+    ++stats_.tail_drops;
+    return false;
+  }
+  queue.push_back(QueuedPacket{
+      cycle, packet.vnid, static_cast<std::uint32_t>(packet.total_bytes())});
+  ++stats_.enqueued;
+  return true;
+}
+
+void DrrScheduler::tick(std::uint64_t cycle, std::vector<EgressRecord>* out) {
+  VR_REQUIRE(out != nullptr, "tick needs an output sink");
+  for (std::size_t port_index = 0; port_index < ports_.size(); ++port_index) {
+    PortState& port = ports_[port_index];
+    port.byte_credit += config_.bytes_per_cycle;
+
+    // DRR: the cursor parks on one queue per service round; the round
+    // (quantum) may span many cycles when the link is slower than a
+    // packet, which is what makes DRR byte-fair rather than packet-fair.
+    std::size_t visited = 0;
+    while (port.byte_credit >= 1.0 && visited < config_.vn_count) {
+      const std::size_t vn = port.round_robin_cursor;
+      auto& queue = port.queues[vn];
+      if (queue.empty()) {
+        port.deficit[vn] = 0.0;  // idle queues accumulate nothing
+        port.quantum_added = false;
+        port.round_robin_cursor =
+            (port.round_robin_cursor + 1) % config_.vn_count;
+        ++visited;
+        continue;
+      }
+      if (!port.quantum_added) {
+        port.deficit[vn] += quantum_for(static_cast<net::VnId>(vn));
+        port.quantum_added = true;
+      }
+      while (!queue.empty() &&
+             port.deficit[vn] >= static_cast<double>(queue.front().bytes) &&
+             port.byte_credit >= static_cast<double>(queue.front().bytes)) {
+        const QueuedPacket packet = queue.front();
+        queue.pop_front();
+        port.deficit[vn] -= packet.bytes;
+        port.byte_credit -= packet.bytes;
+        ++stats_.transmitted;
+        stats_.bytes_per_vn[packet.vnid] += packet.bytes;
+        out->push_back(EgressRecord{
+            cycle, packet.vnid, static_cast<net::NextHop>(port_index),
+            packet.bytes, cycle - packet.enqueue_cycle});
+      }
+      if (queue.empty() ||
+          port.deficit[vn] < static_cast<double>(queue.front().bytes)) {
+        // This queue's round is over: move on.
+        if (queue.empty()) port.deficit[vn] = 0.0;
+        port.quantum_added = false;
+        port.round_robin_cursor =
+            (port.round_robin_cursor + 1) % config_.vn_count;
+        ++visited;
+      } else {
+        // Link credit exhausted mid-round: resume the SAME queue next
+        // cycle so large packets accumulate the credit they need.
+        break;
+      }
+    }
+    // Cap the idle credit so a long-idle port cannot burst unboundedly —
+    // but never below one MTU, or a large packet could starve forever on
+    // a slow link.
+    constexpr double kMtuBytes = 1600.0;
+    port.byte_credit = std::min(
+        port.byte_credit,
+        std::max(kMtuBytes, 4.0 * config_.bytes_per_cycle));
+  }
+}
+
+bool DrrScheduler::empty() const {
+  for (const PortState& port : ports_) {
+    for (const auto& queue : port.queues) {
+      if (!queue.empty()) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t DrrScheduler::queue_depth(std::size_t port, net::VnId vn) const {
+  VR_REQUIRE(port < ports_.size(), "port out of range");
+  VR_REQUIRE(vn < config_.vn_count, "VN out of range");
+  return ports_[port].queues[vn].size();
+}
+
+}  // namespace vr::dataplane

@@ -1,0 +1,101 @@
+#include "fpga/device.hpp"
+
+#include "common/units.hpp"
+
+namespace vr::fpga {
+
+const char* to_string(SpeedGrade grade) noexcept {
+  switch (grade) {
+    case SpeedGrade::kMinus2:
+      return "-2";
+    case SpeedGrade::kMinus1L:
+      return "-1L";
+  }
+  return "?";
+}
+
+double DeviceSpec::static_power_w(SpeedGrade grade) const noexcept {
+  // Paper Sec. V-A: 4.5 W (-2) and 3.1 W (-1L) on the XC6VLX760. Scale by
+  // device area (logic cells) so smaller catalog entries behave sensibly.
+  const double reference_cells = 758'784.0;  // the XC6VLX760 itself
+  const double scale =
+      logic_cells == 0 ? 1.0
+                       : static_cast<double>(logic_cells) / reference_cells;
+  switch (grade) {
+    case SpeedGrade::kMinus2:
+      return 4.5 * scale;
+    case SpeedGrade::kMinus1L:
+      return 3.1 * scale;
+  }
+  return 0.0;
+}
+
+double DeviceSpec::base_fmax_mhz(SpeedGrade grade) const noexcept {
+  // DESIGN.md Sec. 4 calibration: -2 routes a light pipelined lookup design
+  // at ~400 MHz; -1L at ~30 % lower clock (same mW/Gbps per Fig. 8).
+  switch (grade) {
+    case SpeedGrade::kMinus2:
+      return 400.0;
+    case SpeedGrade::kMinus1L:
+      return 280.0;
+  }
+  return 0.0;
+}
+
+DeviceSpec DeviceSpec::xc6vlx760() {
+  DeviceSpec spec;
+  spec.name = "XC6VLX760";
+  spec.logic_cells = 758'784;
+  spec.slices = 118'560;
+  spec.luts = 474'240;
+  spec.flip_flops = 948'480;
+  spec.bram_bits = static_cast<std::uint64_t>(26.0 * units::kMibit);
+  spec.distributed_ram_bits = static_cast<std::uint64_t>(8.0 * units::kMibit);
+  spec.io_pins = 1200;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::xc6vlx550t() {
+  DeviceSpec spec;
+  spec.name = "XC6VLX550T";
+  spec.logic_cells = 549'888;
+  spec.slices = 85'920;
+  spec.luts = 343'680;
+  spec.flip_flops = 687'360;
+  spec.bram_bits = static_cast<std::uint64_t>(22.0 * units::kMibit);
+  spec.distributed_ram_bits = static_cast<std::uint64_t>(6.2 * units::kMibit);
+  spec.io_pins = 840;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::xc6vsx475t() {
+  DeviceSpec spec;
+  spec.name = "XC6VSX475T";
+  spec.logic_cells = 476'160;
+  spec.slices = 74'400;
+  spec.luts = 297'600;
+  spec.flip_flops = 595'200;
+  spec.bram_bits = static_cast<std::uint64_t>(38.0 * units::kMibit);
+  spec.distributed_ram_bits = static_cast<std::uint64_t>(7.6 * units::kMibit);
+  spec.io_pins = 840;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::xc6vlx240t() {
+  DeviceSpec spec;
+  spec.name = "XC6VLX240T";
+  spec.logic_cells = 241'152;
+  spec.slices = 37'680;
+  spec.luts = 150'720;
+  spec.flip_flops = 301'440;
+  spec.bram_bits = static_cast<std::uint64_t>(14.0 * units::kMibit);
+  spec.distributed_ram_bits = static_cast<std::uint64_t>(3.6 * units::kMibit);
+  spec.io_pins = 720;
+  return spec;
+}
+
+std::vector<DeviceSpec> DeviceSpec::catalog() {
+  return {xc6vlx760(), xc6vlx550t(), xc6vsx475t(), xc6vlx240t()};
+}
+
+}  // namespace vr::fpga

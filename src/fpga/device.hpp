@@ -1,0 +1,74 @@
+// FPGA device catalog. The paper evaluates on a Xilinx Virtex-6 XC6VLX760
+// at speed grades -2 (high performance) and -1L (low power); Table II lists
+// the resources this module encodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vr::fpga {
+
+/// Device speed grade — the paper's two scenarios (Sec. V).
+enum class SpeedGrade {
+  kMinus2,   ///< high performance
+  kMinus1L,  ///< low power
+};
+
+[[nodiscard]] const char* to_string(SpeedGrade grade) noexcept;
+
+/// Static resource inventory of a device (paper Table II plus the slice
+/// breakdown needed for logic accounting).
+struct DeviceSpec {
+  std::string name;
+  std::uint64_t logic_cells = 0;
+  std::uint64_t slices = 0;
+  std::uint64_t luts = 0;
+  std::uint64_t flip_flops = 0;
+  std::uint64_t bram_bits = 0;          ///< total Block RAM (26 Mb)
+  std::uint64_t distributed_ram_bits = 0;
+  std::uint32_t io_pins = 0;
+
+  /// Base static ("leakage") power in watts for a grade; the paper reports
+  /// 4.5 W (-2) and 3.1 W (-1L), each ±5 % with resource usage (Sec. V-A).
+  [[nodiscard]] double static_power_w(SpeedGrade grade) const noexcept;
+
+  /// Base achievable clock for a small design (one pipeline, light BRAM),
+  /// in MHz. -1L trades ~30 % throughput for ~30 % power (Sec. VI-B).
+  [[nodiscard]] double base_fmax_mhz(SpeedGrade grade) const noexcept;
+
+  /// The paper's platform: Virtex-6 XC6VLX760.
+  static DeviceSpec xc6vlx760();
+  /// Mid-size Virtex-6 logic part (more BRAM-heavy designs must merge).
+  static DeviceSpec xc6vlx550t();
+  /// DSP/memory-heavy Virtex-6 part: less logic, far more BRAM.
+  static DeviceSpec xc6vsx475t();
+  /// Small Virtex-6 part, for edge boxes hosting few virtual networks.
+  static DeviceSpec xc6vlx240t();
+
+  /// All catalog entries (for the device-exploration bench).
+  static std::vector<DeviceSpec> catalog();
+};
+
+/// I/O pin demand of a lookup-engine deployment (Sec. VI-A limits the
+/// separate scheme to 15 VNs on the 1200-pin device). Each physically
+/// distinct engine needs its own address/NHI interface; shared pins cover
+/// clocking, reset and the merged/NV single stream.
+struct IoBudget {
+  std::uint32_t pins_per_engine = 76;
+  std::uint32_t shared_pins = 60;
+
+  [[nodiscard]] std::uint32_t required(std::size_t engines) const noexcept {
+    return shared_pins +
+           pins_per_engine * static_cast<std::uint32_t>(engines);
+  }
+
+  /// Largest engine count that fits `available` pins.
+  [[nodiscard]] std::size_t max_engines(std::uint32_t available) const
+      noexcept {
+    if (available <= shared_pins) return 0;
+    return (available - shared_pins) / pins_per_engine;
+  }
+};
+
+}  // namespace vr::fpga

@@ -1,0 +1,31 @@
+#include "fpga/freq_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vr::fpga {
+
+double achievable_fmax_mhz(const DeviceSpec& spec, SpeedGrade grade,
+                           const DesignResources& resources,
+                           const FreqModelParams& params) {
+  VR_REQUIRE(resources.pipelines >= 1, "a design has at least one pipeline");
+  const double base = spec.base_fmax_mhz(grade);
+  const double halves_total =
+      static_cast<double>(device_bram_halves(spec));
+  const double util =
+      halves_total == 0.0
+          ? 0.0
+          : std::min(1.0, static_cast<double>(resources.bram_halves) /
+                              halves_total);
+  const double stage_excess =
+      std::max(0.0, resources.max_stage_blocks36eq - 1.0);
+  const double congestion =
+      1.0 + params.gamma_stage_blocks * stage_excess +
+      params.gamma_device_util * util +
+      params.gamma_pipelines *
+          static_cast<double>(resources.pipelines - 1);
+  return base / congestion;
+}
+
+}  // namespace vr::fpga

@@ -1,0 +1,41 @@
+#include "fpga/thermal.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vr::fpga {
+
+double leakage_multiplier(double t_junction_c, const ThermalParams& params) {
+  return 1.0 + params.leakage_slope_per_c * (t_junction_c - 25.0);
+}
+
+ThermalOperatingPoint solve_thermal(double static_25c_w, double dynamic_w,
+                                    const ThermalParams& params) {
+  VR_REQUIRE(static_25c_w >= 0.0 && dynamic_w >= 0.0,
+             "power inputs must be non-negative");
+  ThermalOperatingPoint point;
+  point.t_junction_c = params.ambient_c;
+  // Fixed point of T = ambient + theta * (s0 * m(T) + d). The map is
+  // affine in T with slope theta*s0*slope < 1 for sane inputs, so plain
+  // iteration converges geometrically.
+  for (unsigned i = 0; i < 100; ++i) {
+    ++point.iterations;
+    const double static_w =
+        static_25c_w * leakage_multiplier(point.t_junction_c, params);
+    const double next_t =
+        params.ambient_c + params.theta_ja_c_per_w * (static_w + dynamic_w);
+    if (std::fabs(next_t - point.t_junction_c) < 1e-9) {
+      point.t_junction_c = next_t;
+      break;
+    }
+    point.t_junction_c = next_t;
+  }
+  point.static_w =
+      static_25c_w * leakage_multiplier(point.t_junction_c, params);
+  point.total_w = point.static_w + dynamic_w;
+  point.within_limits = point.t_junction_c <= params.t_junction_max_c;
+  return point;
+}
+
+}  // namespace vr::fpga

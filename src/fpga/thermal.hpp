@@ -1,0 +1,43 @@
+// Thermal/leakage coupling — the paper notes static power "is proportional
+// to the area of the device, process technology, and the operating
+// temperature (which affects the leakage current)" (Sec. V-A). This model
+// closes the loop: dissipated power raises the junction temperature
+// through the package's thermal resistance, and the hotter junction leaks
+// more, until a fixed point is reached. It is used by the
+// `ablation_thermal` bench to compare the deployments' thermal headroom
+// (K dedicated devices in one rack vs one shared device).
+#pragma once
+
+namespace vr::fpga {
+
+struct ThermalParams {
+  double ambient_c = 25.0;
+  /// Junction-to-ambient thermal resistance with a passive heatsink, °C/W.
+  double theta_ja_c_per_w = 2.5;
+  /// Fractional leakage increase per °C above the 25 °C characterization
+  /// point (Virtex-6-class silicon roughly doubles leakage over ~60 °C).
+  double leakage_slope_per_c = 0.012;
+  /// Junction ceiling for commercial parts.
+  double t_junction_max_c = 85.0;
+};
+
+/// Leakage multiplier at junction temperature `t_junction_c`.
+[[nodiscard]] double leakage_multiplier(double t_junction_c,
+                                        const ThermalParams& params = {});
+
+/// Result of the power–temperature fixed point for one device.
+struct ThermalOperatingPoint {
+  double t_junction_c = 25.0;
+  double static_w = 0.0;   ///< leakage at the settled temperature
+  double total_w = 0.0;    ///< static + dynamic at the settled point
+  bool within_limits = true;  ///< t_junction <= t_junction_max
+  unsigned iterations = 0;
+};
+
+/// Solves T = ambient + theta_ja * (static(T) + dynamic) by fixed-point
+/// iteration. `static_25c_w` is the device's leakage at 25 °C (the
+/// catalog/paper value); `dynamic_w` is temperature-independent.
+[[nodiscard]] ThermalOperatingPoint solve_thermal(
+    double static_25c_w, double dynamic_w, const ThermalParams& params = {});
+
+}  // namespace vr::fpga

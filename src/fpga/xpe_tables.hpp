@@ -1,0 +1,70 @@
+// Published power coefficients — the "representative values and functions"
+// the paper extracts from Xilinx XPower Estimator sweeps (Secs. V-A..V-C).
+// These constants are the device model's ground-truth physics: both the
+// analytical model and the PnR simulator derive their power numbers from
+// them, exactly as the paper derives both its model and its experimental
+// results from the same silicon.
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/device.hpp"
+
+namespace vr::fpga {
+
+/// BRAM block granularities on Virtex-6 (Sec. V-B): a 36 Kb block is two
+/// independently usable 18 Kb halves.
+enum class BramKind : std::uint8_t {
+  k18,  ///< 18 Kb block
+  k36,  ///< 36 Kb block
+};
+
+[[nodiscard]] const char* to_string(BramKind kind) noexcept;
+
+/// Capacity in bits of a block kind.
+[[nodiscard]] std::uint64_t bram_capacity_bits(BramKind kind) noexcept;
+
+/// Coefficient tables published in the paper.
+struct XpeTables {
+  /// Table III: BRAM power per block, µW per MHz of clock.
+  ///   18Kb (-2): 13.65    36Kb (-2): 24.60
+  ///   18Kb (-1L): 11.00   36Kb (-1L): 19.70
+  [[nodiscard]] static double bram_uw_per_mhz(BramKind kind,
+                                              SpeedGrade grade) noexcept;
+
+  /// Power of `blocks` BRAM blocks of `kind` at `freq_mhz`, in watts
+  /// (Table III with the ceiling already applied by the caller).
+  [[nodiscard]] static double bram_power_w(BramKind kind, SpeedGrade grade,
+                                           std::uint64_t blocks,
+                                           double freq_mhz) noexcept;
+
+  /// Sec. V-C: per-pipeline-stage logic + signal power, µW per MHz:
+  ///   -2: 5.180    -1L: 3.937
+  [[nodiscard]] static double logic_stage_uw_per_mhz(SpeedGrade grade) noexcept;
+
+  /// Power of `stages` pipeline stages of PE logic at `freq_mhz`, in watts.
+  [[nodiscard]] static double logic_power_w(SpeedGrade grade,
+                                            std::size_t stages,
+                                            double freq_mhz) noexcept;
+
+  /// Assumed BRAM write rate (1 %) and read width (18 bits) — recorded for
+  /// documentation; their effect is already folded into the coefficients
+  /// (the paper found bit-width effects negligible).
+  static constexpr double kWriteRate = 0.01;
+  static constexpr unsigned kReadWidthBits = 18;
+
+  /// Sec. V-C PE footprint per stage (used for slice capacity checks).
+  struct PeFootprint {
+    std::uint64_t slice_registers = 1689;
+    std::uint64_t luts_logic = 336;
+    std::uint64_t luts_memory = 126;
+    std::uint64_t luts_routing = 376;
+
+    [[nodiscard]] std::uint64_t total_luts() const noexcept {
+      return luts_logic + luts_memory + luts_routing;
+    }
+  };
+  [[nodiscard]] static PeFootprint pe_footprint() noexcept { return {}; }
+};
+
+}  // namespace vr::fpga

@@ -1,0 +1,195 @@
+#include "ipv6/ipv6.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+
+#include "common/error.hpp"
+
+namespace vr::ipv6 {
+
+namespace {
+
+std::array<std::uint16_t, 8> groups_of(const Ipv6& addr) {
+  std::array<std::uint16_t, 8> groups{};
+  for (unsigned i = 0; i < 4; ++i) {
+    groups[i] = static_cast<std::uint16_t>(addr.hi() >> (48u - 16u * i));
+    groups[4 + i] =
+        static_cast<std::uint16_t>(addr.lo() >> (48u - 16u * i));
+  }
+  return groups;
+}
+
+}  // namespace
+
+Ipv6 Ipv6::masked(unsigned length) const noexcept {
+  if (length >= 128) return *this;
+  if (length == 0) return Ipv6();
+  if (length <= 64) {
+    const std::uint64_t mask =
+        length == 0 ? 0 : ~std::uint64_t{0} << (64u - length);
+    return Ipv6(hi_ & mask, 0);
+  }
+  const std::uint64_t mask = ~std::uint64_t{0} << (128u - length);
+  return Ipv6(hi_, lo_ & mask);
+}
+
+std::string Ipv6::to_string() const {
+  const auto groups = groups_of(*this);
+  // Find the longest run of zero groups (>= 2) for "::" compression.
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[5];
+  for (int i = 0; i < 8; ++i) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len - 1;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    const auto [end, ec] = std::to_chars(
+        buf, buf + sizeof buf, groups[static_cast<std::size_t>(i)], 16);
+    (void)ec;
+    out.append(buf, end);
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+std::optional<Ipv6> Ipv6::parse(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  // Split on "::" (at most one).
+  const auto gap = text.find("::");
+  std::string_view head = text;
+  std::string_view tail;
+  bool has_gap = false;
+  if (gap != std::string_view::npos) {
+    has_gap = true;
+    head = text.substr(0, gap);
+    tail = text.substr(gap + 2);
+    if (tail.find("::") != std::string_view::npos) return std::nullopt;
+  }
+
+  auto parse_groups =
+      [](std::string_view part,
+         std::vector<std::uint16_t>* out) noexcept -> bool {
+    if (part.empty()) return true;
+    const char* it = part.data();
+    const char* const end = part.data() + part.size();
+    while (true) {
+      std::uint32_t value = 0;
+      const auto [next, ec] = std::from_chars(it, end, value, 16);
+      if (ec != std::errc{} || next == it || value > 0xffff) return false;
+      if (next - it > 4) return false;
+      out->push_back(static_cast<std::uint16_t>(value));
+      it = next;
+      if (it == end) return true;
+      if (*it != ':') return false;
+      ++it;
+      if (it == end) return false;  // trailing single colon
+    }
+  };
+
+  std::vector<std::uint16_t> head_groups;
+  std::vector<std::uint16_t> tail_groups;
+  if (!parse_groups(head, &head_groups)) return std::nullopt;
+  if (!parse_groups(tail, &tail_groups)) return std::nullopt;
+
+  std::array<std::uint16_t, 8> groups{};
+  if (has_gap) {
+    if (head_groups.size() + tail_groups.size() > 7) return std::nullopt;
+    for (std::size_t i = 0; i < head_groups.size(); ++i) {
+      groups[i] = head_groups[i];
+    }
+    for (std::size_t i = 0; i < tail_groups.size(); ++i) {
+      groups[8 - tail_groups.size() + i] = tail_groups[i];
+    }
+  } else {
+    if (head_groups.size() != 8) return std::nullopt;
+    std::copy(head_groups.begin(), head_groups.end(), groups.begin());
+  }
+
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    hi |= std::uint64_t{groups[i]} << (48u - 16u * i);
+    lo |= std::uint64_t{groups[4 + i]} << (48u - 16u * i);
+  }
+  return Ipv6(hi, lo);
+}
+
+Prefix6::Prefix6(Ipv6 address, unsigned length) noexcept
+    : address_(address.masked(length)), length_(length) {
+  VR_REQUIRE(length <= 128, "IPv6 prefix length must be in [0,128]");
+}
+
+bool Prefix6::contains(const Ipv6& addr) const noexcept {
+  return addr.masked(length_) == address_;
+}
+
+std::string Prefix6::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+RoutingTable6::RoutingTable6(std::vector<Route6> routes)
+    : routes_(std::move(routes)) {
+  std::stable_sort(routes_.begin(), routes_.end(),
+                   [](const Route6& a, const Route6& b) {
+                     return a.prefix < b.prefix;
+                   });
+  const auto last = std::unique(
+      routes_.rbegin(), routes_.rend(),
+      [](const Route6& a, const Route6& b) { return a.prefix == b.prefix; });
+  routes_.erase(routes_.begin(), last.base());
+}
+
+void RoutingTable6::add(const Prefix6& prefix, net::NextHop next_hop) {
+  const Route6 key{prefix, next_hop};
+  const auto it = std::lower_bound(
+      routes_.begin(), routes_.end(), key,
+      [](const Route6& a, const Route6& b) { return a.prefix < b.prefix; });
+  if (it != routes_.end() && it->prefix == prefix) {
+    it->next_hop = next_hop;
+  } else {
+    routes_.insert(it, key);
+  }
+}
+
+std::optional<net::NextHop> RoutingTable6::lookup(const Ipv6& addr) const {
+  std::optional<net::NextHop> best;
+  unsigned best_len = 0;
+  for (const Route6& route : routes_) {
+    if (route.prefix.contains(addr) &&
+        (!best || route.prefix.length() >= best_len)) {
+      best = route.next_hop;
+      best_len = route.prefix.length();
+    }
+  }
+  return best;
+}
+
+unsigned RoutingTable6::max_prefix_length() const noexcept {
+  unsigned max_len = 0;
+  for (const Route6& route : routes_) {
+    max_len = std::max(max_len, route.prefix.length());
+  }
+  return max_len;
+}
+
+}  // namespace vr::ipv6

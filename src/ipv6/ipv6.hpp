@@ -1,0 +1,102 @@
+// IPv6 address, prefix and routing-table types — the forward-looking
+// extension of the paper's IPv4-only study: 128-bit lookups quadruple the
+// potential pipeline depth and grow per-stage memories, stressing exactly
+// the resources (BRAM, logic stages, clock) the power models price. Used
+// by the `extension_ipv6` bench.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+
+namespace vr::ipv6 {
+
+/// A 128-bit IPv6 address in host bit order (hi = the first 64 bits).
+class Ipv6 {
+ public:
+  constexpr Ipv6() noexcept = default;
+  constexpr Ipv6(std::uint64_t hi, std::uint64_t lo) noexcept
+      : hi_(hi), lo_(lo) {}
+
+  [[nodiscard]] constexpr std::uint64_t hi() const noexcept { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const noexcept { return lo_; }
+
+  /// Bit `index` (0 = most significant of the whole 128).
+  [[nodiscard]] constexpr bool bit(unsigned index) const noexcept {
+    return index < 64 ? ((hi_ >> (63u - index)) & 1u) != 0
+                      : ((lo_ >> (127u - index)) & 1u) != 0;
+  }
+
+  /// Clears all bits below `length` (returns the /length network address).
+  [[nodiscard]] Ipv6 masked(unsigned length) const noexcept;
+
+  /// RFC 5952-style text (lower-case hex, longest zero run compressed).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses full and "::"-compressed hexadecimal forms (no embedded IPv4).
+  static std::optional<Ipv6> parse(std::string_view text) noexcept;
+
+  friend constexpr auto operator<=>(const Ipv6&, const Ipv6&) noexcept =
+      default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// An IPv6 CIDR prefix (canonicalized, length in [0,128]).
+class Prefix6 {
+ public:
+  constexpr Prefix6() noexcept = default;
+  Prefix6(Ipv6 address, unsigned length) noexcept;
+
+  [[nodiscard]] Ipv6 address() const noexcept { return address_; }
+  [[nodiscard]] unsigned length() const noexcept { return length_; }
+  [[nodiscard]] bool contains(const Ipv6& addr) const noexcept;
+  [[nodiscard]] bool bit(unsigned i) const noexcept {
+    return address_.bit(i);
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix6&,
+                                    const Prefix6&) noexcept = default;
+
+ private:
+  Ipv6 address_;
+  unsigned length_ = 0;
+};
+
+struct Route6 {
+  Prefix6 prefix;
+  net::NextHop next_hop = net::kNoRoute;
+
+  friend constexpr auto operator<=>(const Route6&,
+                                    const Route6&) noexcept = default;
+};
+
+/// Sorted, deduplicated IPv6 route set with a linear-scan LPM oracle.
+class RoutingTable6 {
+ public:
+  RoutingTable6() = default;
+  explicit RoutingTable6(std::vector<Route6> routes);
+
+  void add(const Prefix6& prefix, net::NextHop next_hop);
+  [[nodiscard]] std::size_t size() const noexcept { return routes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return routes_.empty(); }
+  [[nodiscard]] std::span<const Route6> routes() const noexcept {
+    return routes_;
+  }
+  [[nodiscard]] std::optional<net::NextHop> lookup(const Ipv6& addr) const;
+  [[nodiscard]] unsigned max_prefix_length() const noexcept;
+
+ private:
+  std::vector<Route6> routes_;
+};
+
+}  // namespace vr::ipv6

@@ -1,0 +1,40 @@
+#include "netbase/ipv4.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace vr::net {
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (unsigned i = 0; i < 4; ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) noexcept {
+  std::array<std::uint32_t, 4> octets{};
+  const char* it = text.data();
+  const char* const end = text.data() + text.size();
+  for (unsigned i = 0; i < 4; ++i) {
+    if (i != 0) {
+      if (it == end || *it != '.') return std::nullopt;
+      ++it;
+    }
+    std::uint32_t value = 0;
+    const auto [next, ec] = std::from_chars(it, end, value);
+    if (ec != std::errc{} || next == it || value > 255) return std::nullopt;
+    // Reject leading zeros such as "01" to keep the grammar strict.
+    if (next - it > 1 && *it == '0') return std::nullopt;
+    octets[i] = value;
+    it = next;
+  }
+  if (it != end) return std::nullopt;
+  return Ipv4((octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) |
+              octets[3]);
+}
+
+}  // namespace vr::net

@@ -1,0 +1,43 @@
+// IPv4 address value type: parsing, formatting, ordering.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace vr::net {
+
+/// An IPv4 address stored in host byte order (a.b.c.d => a is the most
+/// significant byte). Trivially copyable value type.
+class Ipv4 {
+ public:
+  constexpr Ipv4() noexcept = default;
+  explicit constexpr Ipv4(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return value_;
+  }
+  [[nodiscard]] constexpr std::uint8_t octet(unsigned i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (24u - 8u * i));
+  }
+
+  /// Dotted-quad text form, e.g. "192.0.2.1".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses dotted-quad text; returns nullopt on any syntax error (missing
+  /// octets, out-of-range values, trailing characters).
+  static std::optional<Ipv4> parse(std::string_view text) noexcept;
+
+  friend constexpr auto operator<=>(Ipv4, Ipv4) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace vr::net

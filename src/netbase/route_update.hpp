@@ -1,0 +1,22 @@
+// A routing-plane update event (BGP-style announce/withdraw), consumed by
+// the incremental-update machinery in the trie and virt layers.
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/prefix.hpp"
+
+namespace vr::net {
+
+struct RouteUpdate {
+  enum class Kind : std::uint8_t {
+    kAnnounce,  ///< insert a route or change an existing route's next hop
+    kWithdraw,  ///< remove a route
+  };
+  Kind kind = Kind::kAnnounce;
+  Route route;
+
+  friend bool operator==(const RouteUpdate&, const RouteUpdate&) = default;
+};
+
+}  // namespace vr::net

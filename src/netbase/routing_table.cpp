@@ -1,0 +1,128 @@
+#include "netbase/routing_table.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vr::net {
+
+namespace {
+
+bool prefix_less(const Route& a, const Route& b) noexcept {
+  return a.prefix < b.prefix;
+}
+
+}  // namespace
+
+RoutingTable::RoutingTable(std::vector<Route> routes)
+    : routes_(std::move(routes)) {
+  // stable_sort keeps insertion order among equal prefixes so that "last
+  // write wins" below is well-defined.
+  std::stable_sort(routes_.begin(), routes_.end(), prefix_less);
+  // Last write wins on duplicates: keep the final occurrence of each prefix.
+  const auto last = std::unique(
+      routes_.rbegin(), routes_.rend(),
+      [](const Route& a, const Route& b) { return a.prefix == b.prefix; });
+  routes_.erase(routes_.begin(), last.base());
+}
+
+void RoutingTable::add(const Route& route) {
+  const auto it = std::lower_bound(routes_.begin(), routes_.end(), route,
+                                   prefix_less);
+  if (it != routes_.end() && it->prefix == route.prefix) {
+    it->next_hop = route.next_hop;
+  } else {
+    routes_.insert(it, route);
+  }
+}
+
+bool RoutingTable::remove(const Prefix& prefix) {
+  const Route key{prefix, kNoRoute};
+  const auto it =
+      std::lower_bound(routes_.begin(), routes_.end(), key, prefix_less);
+  if (it == routes_.end() || it->prefix != prefix) return false;
+  routes_.erase(it);
+  return true;
+}
+
+bool RoutingTable::contains(const Prefix& prefix) const noexcept {
+  const Route key{prefix, kNoRoute};
+  const auto it =
+      std::lower_bound(routes_.begin(), routes_.end(), key, prefix_less);
+  return it != routes_.end() && it->prefix == prefix;
+}
+
+std::optional<NextHop> RoutingTable::lookup(Ipv4 addr) const noexcept {
+  std::optional<NextHop> best;
+  unsigned best_len = 0;
+  for (const Route& route : routes_) {
+    if (route.prefix.contains(addr) &&
+        (!best || route.prefix.length() >= best_len)) {
+      best = route.next_hop;
+      best_len = route.prefix.length();
+    }
+  }
+  return best;
+}
+
+unsigned RoutingTable::max_prefix_length() const noexcept {
+  unsigned max_len = 0;
+  for (const Route& route : routes_) {
+    max_len = std::max(max_len, route.prefix.length());
+  }
+  return max_len;
+}
+
+std::vector<std::size_t> RoutingTable::length_histogram() const {
+  std::vector<std::size_t> hist(33, 0);
+  for (const Route& route : routes_) ++hist[route.prefix.length()];
+  return hist;
+}
+
+RoutingTable RoutingTable::parse(std::istream& in) {
+  RoutingTable table;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::string prefix_text;
+    long next_hop = -1;
+    fields >> prefix_text >> next_hop;
+    if (fields.fail()) {
+      throw ParseError("expected '<prefix> <next-hop>'", line_no);
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw ParseError("trailing field '" + extra + "'", line_no);
+    }
+    const auto prefix = Prefix::parse(prefix_text);
+    if (!prefix) {
+      throw ParseError("bad prefix '" + prefix_text + "'", line_no);
+    }
+    if (next_hop < 0 || next_hop >= kNoRoute) {
+      throw ParseError("next hop out of range", line_no);
+    }
+    table.add(*prefix, static_cast<NextHop>(next_hop));
+  }
+  return table;
+}
+
+RoutingTable RoutingTable::parse_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+void RoutingTable::serialize(std::ostream& out) const {
+  for (const Route& route : routes_) {
+    out << route.prefix.to_string() << ' ' << route.next_hop << '\n';
+  }
+}
+
+}  // namespace vr::net

@@ -1,0 +1,118 @@
+#include "netbase/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace vr::net {
+
+TrafficGenerator::TrafficGenerator(TrafficConfig config,
+                                   std::vector<const RoutingTable*> tables)
+    : config_(std::move(config)), tables_(std::move(tables)) {
+  VR_REQUIRE(!tables_.empty(), "need at least one virtual network table");
+  for (const RoutingTable* table : tables_) {
+    VR_REQUIRE(table != nullptr, "null routing table");
+    VR_REQUIRE(!table->empty(), "empty routing table cannot source traffic");
+  }
+  VR_REQUIRE(config_.load >= 0.0 && config_.load <= 1.0,
+             "load must be in [0,1]");
+  VR_REQUIRE(config_.duty_on_fraction >= 0.0 && config_.duty_on_fraction <= 1.0,
+             "duty_on_fraction must be in [0,1]");
+  VR_REQUIRE(config_.duty_period > 0, "duty_period must be positive");
+  if (!config_.vn_phase_offsets.empty()) {
+    VR_REQUIRE(config_.vn_phase_offsets.size() == tables_.size(),
+               "vn_phase_offsets size must match the number of tables");
+    for (const double offset : config_.vn_phase_offsets) {
+      VR_REQUIRE(offset >= 0.0 && offset < 1.0,
+                 "phase offsets must be in [0,1)");
+    }
+  }
+
+  if (config_.vn_weights.empty()) {
+    weights_.assign(tables_.size(), 1.0 / static_cast<double>(tables_.size()));
+  } else {
+    VR_REQUIRE(config_.vn_weights.size() == tables_.size(),
+               "vn_weights size must match the number of tables");
+    double total = 0.0;
+    for (double w : config_.vn_weights) {
+      VR_REQUIRE(w >= 0.0, "vn weights must be non-negative");
+      total += w;
+    }
+    VR_REQUIRE(total > 0.0, "vn weights must not all be zero");
+    weights_.reserve(config_.vn_weights.size());
+    for (double w : config_.vn_weights) weights_.push_back(w / total);
+  }
+}
+
+Packet TrafficGenerator::sample_packet(Rng& rng, VnId vn) const {
+  const RoutingTable& table = *tables_[vn];
+  const auto routes = table.routes();
+  const Route& route = routes[rng.next_below(routes.size())];
+  const unsigned host_bits = 32u - route.prefix.length();
+  std::uint32_t addr = route.prefix.address().value();
+  if (host_bits > 0) {
+    const std::uint64_t space = std::uint64_t{1} << host_bits;
+    addr |= static_cast<std::uint32_t>(rng.next_below(space));
+  }
+  return Packet{Ipv4(addr), vn};
+}
+
+std::vector<TimedPacket> TrafficGenerator::generate(
+    std::uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<TimedPacket> trace;
+  trace.reserve(static_cast<std::size_t>(
+      static_cast<double>(config_.cycles) * config_.load *
+          config_.duty_on_fraction +
+      16.0));
+  const auto on_cycles = static_cast<std::uint64_t>(
+      std::llround(config_.duty_on_fraction *
+                   static_cast<double>(config_.duty_period)));
+  const bool phased = !config_.vn_phase_offsets.empty();
+
+  for (std::uint64_t cycle = 0; cycle < config_.cycles; ++cycle) {
+    const std::uint64_t phase = cycle % config_.duty_period;
+    if (!phased) {
+      if (phase >= on_cycles) continue;
+      if (!rng.next_bool(config_.load)) continue;
+      const auto vn = static_cast<VnId>(
+          rng.next_weighted(weights_.data(), weights_.size()));
+      trace.push_back(TimedPacket{cycle, sample_packet(rng, vn)});
+      continue;
+    }
+    // Staggered windows: a VN is on when the cycle's phase falls in its
+    // own (wrapping) window. Each ON tenant offers traffic INDEPENDENTLY
+    // at `load` packets/cycle, so coinciding peaks genuinely overload a
+    // single time-shared engine (several packets may share a cycle; the
+    // router's injection queue absorbs them).
+    for (std::size_t v = 0; v < weights_.size(); ++v) {
+      const auto start = static_cast<std::uint64_t>(std::llround(
+          config_.vn_phase_offsets[v] *
+          static_cast<double>(config_.duty_period)));
+      const std::uint64_t rel =
+          (phase + config_.duty_period - start % config_.duty_period) %
+          config_.duty_period;
+      if (rel >= on_cycles) continue;
+      if (!rng.next_bool(config_.load)) continue;
+      trace.push_back(TimedPacket{
+          cycle, sample_packet(rng, static_cast<VnId>(v))});
+    }
+  }
+  return trace;
+}
+
+std::vector<double> TrafficGenerator::measured_shares(
+    const std::vector<TimedPacket>& trace, std::size_t vn_count) {
+  std::vector<double> shares(vn_count, 0.0);
+  if (trace.empty()) return shares;
+  for (const TimedPacket& tp : trace) {
+    VR_REQUIRE(tp.packet.vnid < vn_count, "trace references unknown VN");
+    shares[tp.packet.vnid] += 1.0;
+  }
+  for (double& s : shares) s /= static_cast<double>(trace.size());
+  return shares;
+}
+
+}  // namespace vr::net

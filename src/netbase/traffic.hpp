@@ -1,0 +1,96 @@
+// Packet-trace generation with per-virtual-network utilization and duty
+// cycle — the workload model of the paper's Assumptions 1 and 3 plus the
+// Sec. IV clock-gating discussion (idle periods consume no dynamic power).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netbase/routing_table.hpp"
+
+namespace vr::net {
+
+/// Virtual-network identifier (VNID). The paper indexes leaf vectors by
+/// VNID in the merged scheme.
+using VnId = std::uint16_t;
+
+/// A lookup request: destination address tagged with its virtual network.
+struct Packet {
+  Ipv4 addr;
+  VnId vnid = 0;
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+/// A packet bound to the cycle at which it arrives at the lookup engine.
+struct TimedPacket {
+  std::uint64_t cycle = 0;
+  Packet packet;
+
+  friend bool operator==(const TimedPacket&, const TimedPacket&) = default;
+};
+
+/// Configuration of the arrival process.
+struct TrafficConfig {
+  /// Number of clock cycles to generate for.
+  std::uint64_t cycles = 100000;
+
+  /// Probability that a new packet arrives in an "on" cycle (aggregate
+  /// offered load, 1.0 = one packet per cycle, the pipeline's capacity).
+  double load = 1.0;
+
+  /// Duty cycle: arrivals only occur during the first
+  /// `duty_on_fraction * duty_period` cycles of every period. 1.0 = always
+  /// on. Models the low-duty edge-network behaviour of Sec. I.
+  double duty_on_fraction = 1.0;
+  std::uint64_t duty_period = 1000;
+
+  /// Relative traffic share per virtual network (the paper's µ_i, up to
+  /// normalization). Empty means uniform (Assumption 1).
+  std::vector<double> vn_weights;
+
+  /// Per-VN duty-phase offsets as fractions of duty_period. When set
+  /// (size = VN count), each VN is only "on" during
+  /// [offset, offset + duty_on_fraction) of the period (wrapping), and a
+  /// cycle's packet is drawn among the currently-on VNs — the staggered
+  /// edge-network peaks that make time-sharing (the merged scheme) work.
+  /// Empty = one global duty window (the default behaviour).
+  std::vector<double> vn_phase_offsets;
+};
+
+/// Generates traces whose destination addresses are sampled from the routes
+/// of the owning virtual network (so every lookup matches), with host bits
+/// randomized.
+class TrafficGenerator {
+ public:
+  /// `tables[v]` is the routing table of virtual network v. At least one
+  /// table, none empty.
+  TrafficGenerator(TrafficConfig config,
+                   std::vector<const RoutingTable*> tables);
+
+  /// Produces a deterministic trace for the given seed.
+  [[nodiscard]] std::vector<TimedPacket> generate(std::uint64_t seed) const;
+
+  /// Draws one in-table destination address for virtual network `vn`.
+  [[nodiscard]] Packet sample_packet(Rng& rng, VnId vn) const;
+
+  [[nodiscard]] const TrafficConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t vn_count() const noexcept {
+    return tables_.size();
+  }
+
+  /// Measured share of packets per VN in a trace (for tests: converges to
+  /// the normalized vn_weights).
+  static std::vector<double> measured_shares(
+      const std::vector<TimedPacket>& trace, std::size_t vn_count);
+
+ private:
+  TrafficConfig config_;
+  std::vector<const RoutingTable*> tables_;
+  std::vector<double> weights_;  // normalized per-VN probabilities
+};
+
+}  // namespace vr::net

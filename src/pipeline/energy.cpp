@@ -1,0 +1,28 @@
+#include "pipeline/energy.hpp"
+
+#include "common/error.hpp"
+
+namespace vr::pipeline {
+
+EnginePower measure_engine_power(const ActivityCounters& counters,
+                                 const fpga::StageBramPlan& plan,
+                                 fpga::SpeedGrade grade, double freq_mhz) {
+  VR_REQUIRE(plan.per_stage.size() == counters.stage_busy.size(),
+             "BRAM plan and activity counters disagree on stage count");
+  EnginePower power;
+  if (counters.cycles == 0) return power;
+  const auto cycles = static_cast<double>(counters.cycles);
+  for (std::size_t s = 0; s < counters.stage_busy.size(); ++s) {
+    const double busy_fraction =
+        static_cast<double>(counters.stage_busy[s]) / cycles;
+    const double read_fraction =
+        static_cast<double>(counters.stage_reads[s]) / cycles;
+    power.logic_w +=
+        busy_fraction * fpga::XpeTables::logic_power_w(grade, 1, freq_mhz);
+    power.memory_w +=
+        read_fraction * plan.per_stage[s].power_w(grade, freq_mhz);
+  }
+  return power;
+}
+
+}  // namespace vr::pipeline

@@ -1,0 +1,33 @@
+// Activity-based power measurement: converts the simulator's per-stage
+// busy/read counters into average power using the same per-resource
+// coefficients the analytical model uses. Because the coefficient
+// `c µW/MHz` equals `c pJ/cycle` (see common/units.hpp), the measured
+// power is exact for the observed activity — the reconciliation tests use
+// this to show the analytical model's µ-weighting is the correct closed
+// form of the simulated clock gating.
+#pragma once
+
+#include "fpga/bram.hpp"
+#include "fpga/xpe_tables.hpp"
+#include "pipeline/lookup_engine.hpp"
+
+namespace vr::pipeline {
+
+/// Average dynamic power of one engine over a simulation.
+struct EnginePower {
+  double logic_w = 0.0;
+  double memory_w = 0.0;
+
+  [[nodiscard]] double dynamic_w() const noexcept {
+    return logic_w + memory_w;
+  }
+};
+
+/// Computes average power from counters, a per-stage BRAM plan (as placed
+/// for this engine) and the operating point. `plan.per_stage` must have
+/// the engine's stage count.
+[[nodiscard]] EnginePower measure_engine_power(
+    const ActivityCounters& counters, const fpga::StageBramPlan& plan,
+    fpga::SpeedGrade grade, double freq_mhz);
+
+}  // namespace vr::pipeline

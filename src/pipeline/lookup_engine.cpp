@@ -1,0 +1,99 @@
+#include "pipeline/lookup_engine.hpp"
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace vr::pipeline {
+
+double ActivityCounters::mean_stage_utilization() const noexcept {
+  if (cycles == 0 || stage_busy.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::uint64_t busy : stage_busy) {
+    sum += static_cast<double>(busy) / static_cast<double>(cycles);
+  }
+  return sum / static_cast<double>(stage_busy.size());
+}
+
+LookupEngine::LookupEngine(TrieView trie, std::size_t stage_count)
+    : trie_(trie), slots_(stage_count) {
+  VR_REQUIRE(stage_count >= 1, "engine needs at least one stage");
+  if (trie_.level_count() > stage_count) {
+    throw CapacityError("trie of " + std::to_string(trie_.level_count()) +
+                        " levels does not fit a " +
+                        std::to_string(stage_count) + "-stage engine");
+  }
+  counters_.stage_busy.assign(stage_count, 0);
+  counters_.stage_reads.assign(stage_count, 0);
+}
+
+bool LookupEngine::offer(const net::Packet& packet) {
+  if (input_.has_value()) return false;
+  VR_REQUIRE(packet.vnid < trie_.vn_count(), "packet VNID out of range");
+  input_ = packet;
+  ++counters_.packets_in;
+  return true;
+}
+
+void LookupEngine::tick(std::vector<LookupResult>* out) {
+  VR_REQUIRE(out != nullptr, "tick needs an output sink");
+  // Process stages back-to-front so each packet advances exactly one stage
+  // per cycle.
+  const std::size_t stages = slots_.size();
+  // Stage `stages-1` completes this cycle.
+  {
+    Slot& last = slots_[stages - 1];
+    if (last.valid) {
+      // Perform the final stage's work first (it may still need its read).
+      if (last.node != trie::kNullNode) {
+        ++counters_.stage_reads[stages - 1];
+        const net::NextHop hop = trie_.next_hop(last.node, last.packet.vnid);
+        if (hop != net::kNoRoute) last.best = hop;
+      }
+      ++counters_.stage_busy[stages - 1];
+      LookupResult result;
+      result.exit_cycle = counters_.cycles + 1;
+      result.packet = last.packet;
+      result.next_hop = last.best == net::kNoRoute
+                            ? std::nullopt
+                            : std::optional<net::NextHop>(last.best);
+      out->push_back(result);
+      ++counters_.packets_out;
+      last.valid = false;
+    }
+  }
+  for (std::size_t s = stages - 1; s-- > 0;) {
+    Slot& slot = slots_[s];
+    if (!slot.valid) continue;
+    ++counters_.stage_busy[s];
+    Slot next = slot;
+    if (slot.node != trie::kNullNode) {
+      ++counters_.stage_reads[s];
+      const net::NextHop hop = trie_.next_hop(slot.node, slot.packet.vnid);
+      if (hop != net::kNoRoute) next.best = hop;
+      const bool bit = bit_at(slot.packet.addr.value(),
+                              static_cast<unsigned>(s));
+      next.node = bit ? trie_.right(slot.node) : trie_.left(slot.node);
+    }
+    slots_[s + 1] = next;
+    slot.valid = false;
+  }
+  if (input_.has_value()) {
+    Slot& first = slots_[0];
+    first.valid = true;
+    first.packet = *input_;
+    first.node = 0;  // root
+    first.best = net::kNoRoute;
+    input_.reset();
+  }
+  ++counters_.cycles;
+}
+
+bool LookupEngine::drained() const noexcept {
+  if (input_.has_value()) return false;
+  for (const Slot& slot : slots_) {
+    if (slot.valid) return false;
+  }
+  return true;
+}
+
+}  // namespace vr::pipeline

@@ -1,0 +1,88 @@
+// Cycle-level model of one linear pipelined lookup engine (paper Sec. V-D):
+// trie level i is handled by pipeline stage i with its own independently
+// accessible memory; a packet enters at stage 0 and exits after the last
+// stage with its next-hop information. Stages whose slot is empty (or whose
+// packet's traversal has already terminated) are clock-gated and perform no
+// memory access — the mechanism behind the paper's µ-weighted dynamic power
+// (Sec. IV).
+//
+// The engine accepts at most one packet per cycle (the paper's architecture
+// issues one lookup per cycle), has a fixed latency of `stage_count`
+// cycles, and is restricted to one trie level per stage (the configuration
+// the paper implements; analytical coalesced mappings are handled by the
+// model layer only).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/traffic.hpp"
+#include "pipeline/trie_view.hpp"
+#include "trie/stage_mapping.hpp"
+
+namespace vr::pipeline {
+
+/// A completed lookup.
+struct LookupResult {
+  std::uint64_t exit_cycle = 0;
+  net::Packet packet;
+  std::optional<net::NextHop> next_hop;
+};
+
+/// Per-engine activity counters for energy accounting.
+struct ActivityCounters {
+  std::uint64_t cycles = 0;          ///< cycles simulated
+  std::uint64_t packets_in = 0;
+  std::uint64_t packets_out = 0;
+  /// Cycles in which stage s held a valid packet (its registers clocked).
+  std::vector<std::uint64_t> stage_busy;
+  /// Cycles in which stage s performed a memory read.
+  std::vector<std::uint64_t> stage_reads;
+
+  /// Mean fraction of cycles a stage was busy (the measured utilization µ).
+  [[nodiscard]] double mean_stage_utilization() const noexcept;
+};
+
+class LookupEngine {
+ public:
+  /// Builds an engine over a trie view with `stage_count` stages; the trie
+  /// must not be deeper than the pipeline (one level per stage).
+  LookupEngine(TrieView trie, std::size_t stage_count);
+
+  /// Offers a packet this cycle. Returns false if the input slot is
+  /// already taken (caller retries next cycle). At most one accept per
+  /// cycle.
+  bool offer(const net::Packet& packet);
+
+  /// Advances one clock cycle; appends any completed lookup to `out`.
+  void tick(std::vector<LookupResult>* out);
+
+  /// True when no packet is in flight and no input is pending.
+  [[nodiscard]] bool drained() const noexcept;
+
+  [[nodiscard]] const ActivityCounters& activity() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] std::size_t stage_count() const noexcept {
+    return slots_.size();
+  }
+  [[nodiscard]] std::uint64_t now() const noexcept { return counters_.cycles; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    net::Packet packet;
+    /// Node this stage must visit; kNullNode when traversal has terminated
+    /// (the slot then just carries the result to the end of the pipe).
+    trie::NodeIndex node = trie::kNullNode;
+    net::NextHop best = net::kNoRoute;
+  };
+
+  TrieView trie_;
+  std::vector<Slot> slots_;
+  std::optional<net::Packet> input_;
+  ActivityCounters counters_;
+};
+
+}  // namespace vr::pipeline

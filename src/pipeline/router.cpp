@@ -1,0 +1,99 @@
+#include "pipeline/router.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vr::pipeline {
+
+SeparateRouter::SeparateRouter(std::vector<TrieView> tries,
+                               std::size_t stage_count) {
+  VR_REQUIRE(!tries.empty(), "separate router needs at least one VN");
+  engines_.reserve(tries.size());
+  for (const TrieView& view : tries) {
+    VR_REQUIRE(view.vn_count() == 1,
+               "separate engines take single-VN tries");
+    engines_.emplace_back(view, stage_count);
+  }
+}
+
+bool SeparateRouter::offer(const net::Packet& packet) {
+  VR_REQUIRE(packet.vnid < engines_.size(),
+             "packet VNID exceeds the engine count");
+  // The distributor (Assumption 3) steers by VNID; the per-VN packet keeps
+  // vnid 0 inside its dedicated engine's single-VN trie.
+  net::Packet local = packet;
+  const net::VnId vn = packet.vnid;
+  local.vnid = 0;
+  if (!engines_[vn].offer(local)) return false;
+  return true;
+}
+
+void SeparateRouter::tick(std::vector<LookupResult>* out) {
+  VR_REQUIRE(out != nullptr, "tick needs an output sink");
+  for (std::size_t e = 0; e < engines_.size(); ++e) {
+    const std::size_t before = out->size();
+    engines_[e].tick(out);
+    // Restore the owning VN on results produced by this engine.
+    for (std::size_t i = before; i < out->size(); ++i) {
+      (*out)[i].packet.vnid = static_cast<net::VnId>(e);
+    }
+  }
+}
+
+bool SeparateRouter::drained() const {
+  return std::all_of(engines_.begin(), engines_.end(),
+                     [](const LookupEngine& e) { return e.drained(); });
+}
+
+MergedRouter::MergedRouter(const virt::MergedTrie& merged,
+                           std::size_t stage_count)
+    : engine_(TrieView(merged), stage_count), vn_count_(merged.vn_count()) {}
+
+bool MergedRouter::offer(const net::Packet& packet) {
+  return engine_.offer(packet);
+}
+
+void MergedRouter::tick(std::vector<LookupResult>* out) {
+  engine_.tick(out);
+}
+
+bool MergedRouter::drained() const { return engine_.drained(); }
+
+SimulationResult run_trace(VirtualRouter& router,
+                           std::span<const net::TimedPacket> trace) {
+  SimulationResult sim;
+  std::deque<net::Packet> pending;
+  std::size_t next = 0;
+  std::uint64_t cycle = 0;
+  while (next < trace.size() || !pending.empty() || !router.drained()) {
+    while (next < trace.size() && trace[next].cycle <= cycle) {
+      pending.push_back(trace[next].packet);
+      ++next;
+    }
+    sim.max_queue_depth = std::max(sim.max_queue_depth, pending.size());
+    // Try to inject as many queued packets as the engines accept. A
+    // separate router can accept up to one packet per engine per cycle;
+    // the merged router one in total. Head-of-line packets that are
+    // refused stay queued.
+    for (std::size_t burst = 0; burst < pending.size();) {
+      if (router.offer(pending[burst])) {
+        pending.erase(pending.begin() +
+                      static_cast<std::ptrdiff_t>(burst));
+      } else {
+        ++burst;
+      }
+    }
+    router.tick(&sim.results);
+    ++cycle;
+  }
+  sim.cycles = cycle;
+  sim.engine_utilization.reserve(router.engine_count());
+  for (std::size_t e = 0; e < router.engine_count(); ++e) {
+    sim.engine_utilization.push_back(
+        router.engine(e).activity().mean_stage_utilization());
+  }
+  return sim;
+}
+
+}  // namespace vr::pipeline

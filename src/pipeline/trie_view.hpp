@@ -1,0 +1,63 @@
+// Non-owning adapter over the two trie flavours (per-VN uni-bit trie and
+// K-way merged trie) presenting the uniform node interface the pipeline
+// simulator traverses.
+#pragma once
+
+#include <variant>
+
+#include "trie/unibit_trie.hpp"
+#include "virt/merged_trie.hpp"
+
+namespace vr::pipeline {
+
+class TrieView {
+ public:
+  explicit TrieView(const trie::UnibitTrie& t) noexcept : impl_(&t) {}
+  explicit TrieView(const virt::MergedTrie& t) noexcept : impl_(&t) {}
+
+  [[nodiscard]] trie::NodeIndex left(trie::NodeIndex n) const {
+    return std::visit([n](const auto* t) { return node_of(*t, n).left; },
+                      impl_);
+  }
+  [[nodiscard]] trie::NodeIndex right(trie::NodeIndex n) const {
+    return std::visit([n](const auto* t) { return node_of(*t, n).right; },
+                      impl_);
+  }
+
+  /// Next hop stored at node `n` for virtual network `vn` (kNoRoute when
+  /// absent). Single tries ignore `vn`.
+  [[nodiscard]] net::NextHop next_hop(trie::NodeIndex n, net::VnId vn) const {
+    if (const auto* single = std::get_if<const trie::UnibitTrie*>(&impl_)) {
+      return (*single)->node(n).next_hop;
+    }
+    return std::get<const virt::MergedTrie*>(impl_)->next_hop(n, vn);
+  }
+
+  [[nodiscard]] std::size_t level_count() const {
+    return std::visit([](const auto* t) { return t->level_count(); }, impl_);
+  }
+
+  [[nodiscard]] std::size_t node_count() const {
+    return std::visit([](const auto* t) { return t->node_count(); }, impl_);
+  }
+
+  /// Number of virtual networks the view serves (1 for a single trie).
+  [[nodiscard]] std::size_t vn_count() const {
+    if (std::holds_alternative<const trie::UnibitTrie*>(impl_)) return 1;
+    return std::get<const virt::MergedTrie*>(impl_)->vn_count();
+  }
+
+ private:
+  static const trie::TrieNode& node_of(const trie::UnibitTrie& t,
+                                       trie::NodeIndex n) {
+    return t.node(n);
+  }
+  static const virt::MergedNode& node_of(const virt::MergedTrie& t,
+                                         trie::NodeIndex n) {
+    return t.nodes()[n];
+  }
+
+  std::variant<const trie::UnibitTrie*, const virt::MergedTrie*> impl_;
+};
+
+}  // namespace vr::pipeline

@@ -1,0 +1,103 @@
+#include "power/analytical_model.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "fpga/xpe_tables.hpp"
+
+namespace vr::power {
+
+AnalyticalModel::AnalyticalModel(fpga::DeviceSpec device)
+    : device_(std::move(device)) {}
+
+std::vector<double> AnalyticalModel::resolve_utilization(
+    const OperatingPoint& op, std::size_t vn_count) const {
+  if (op.utilization.empty()) {
+    return std::vector<double>(vn_count,
+                               1.0 / static_cast<double>(vn_count));
+  }
+  VR_REQUIRE(op.utilization.size() == vn_count,
+             "utilization vector size must equal the VN count");
+  for (const double u : op.utilization) {
+    VR_REQUIRE(u >= 0.0 && u <= 1.0, "utilization must be in [0,1]");
+  }
+  return op.utilization;
+}
+
+double AnalyticalModel::stage_memory_power_w(std::uint64_t bits,
+                                             const OperatingPoint& op) const {
+  const fpga::BramAllocation alloc =
+      fpga::allocate_bram(bits, op.bram_policy);
+  return alloc.power_w(op.grade, op.freq_mhz);
+}
+
+double AnalyticalModel::stage_logic_power_w(const OperatingPoint& op) const {
+  return fpga::XpeTables::logic_power_w(op.grade, 1, op.freq_mhz);
+}
+
+void AnalyticalModel::engine_dynamic_w(const EngineSpec& engine, double u,
+                                       const OperatingPoint& op,
+                                       double* logic_w,
+                                       double* memory_w) const {
+  VR_REQUIRE(!engine.stage_bits.empty(), "engine has no stages");
+  double logic = 0.0;
+  double memory = 0.0;
+  for (const std::uint64_t bits : engine.stage_bits) {
+    logic += stage_logic_power_w(op);
+    memory += stage_memory_power_w(bits, op);
+  }
+  *logic_w += logic * u;
+  *memory_w += memory * u;
+}
+
+PowerBreakdown AnalyticalModel::estimate_nv(
+    std::span<const EngineSpec> engines, const OperatingPoint& op) const {
+  VR_REQUIRE(!engines.empty(), "NV estimate needs at least one engine");
+  const auto mu = resolve_utilization(op, engines.size());
+  PowerBreakdown out;
+  out.devices = engines.size();
+  out.freq_mhz = op.freq_mhz;
+  // Eq. 2: each VN pays a full device's leakage.
+  out.static_w = static_cast<double>(engines.size()) *
+                 device_.static_power_w(op.grade);
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    engine_dynamic_w(engines[i], mu[i], op, &out.logic_w, &out.memory_w);
+  }
+  return out;
+}
+
+PowerBreakdown AnalyticalModel::estimate_vs(
+    std::span<const EngineSpec> engines, const OperatingPoint& op) const {
+  VR_REQUIRE(!engines.empty(), "VS estimate needs at least one engine");
+  const auto mu = resolve_utilization(op, engines.size());
+  PowerBreakdown out;
+  out.devices = 1;
+  out.freq_mhz = op.freq_mhz;
+  // Eq. 4: leakage paid once; dynamic identical to NV.
+  out.static_w = device_.static_power_w(op.grade);
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    engine_dynamic_w(engines[i], mu[i], op, &out.logic_w, &out.memory_w);
+  }
+  return out;
+}
+
+PowerBreakdown AnalyticalModel::estimate_vm(const EngineSpec& merged_engine,
+                                            std::size_t vn_count,
+                                            const OperatingPoint& op) const {
+  VR_REQUIRE(vn_count >= 1, "VM estimate needs at least one VN");
+  const auto mu = resolve_utilization(op, vn_count);
+  const double aggregate =
+      std::min(1.0, std::accumulate(mu.begin(), mu.end(), 0.0));
+  PowerBreakdown out;
+  out.devices = 1;
+  out.freq_mhz = op.freq_mhz;
+  // Eq. 6: leakage paid once; the single engine's dynamic power carries the
+  // aggregate utilization (Σµ = 1 under Assumption 1 — the engine is busy
+  // whenever any VN offers a packet).
+  out.static_w = device_.static_power_w(op.grade);
+  engine_dynamic_w(merged_engine, aggregate, op, &out.logic_w,
+                   &out.memory_w);
+  return out;
+}
+
+}  // namespace vr::power

@@ -1,0 +1,110 @@
+// The paper's analytical Layer-3 power models (Sec. IV, Eqs. 1–6).
+//
+// Power decomposes into leakage P_L, per-stage logic power P(L_{i,j}) and
+// per-stage memory power P(M_{i,j}); dynamic terms are weighted by the
+// virtual networks' utilizations µ_i (clock gating makes an idle engine's
+// dynamic power zero, Sec. IV):
+//
+//   NV (Eq. 2):  P = Σ_i ( P_L + µ_i Σ_j (P(L_{i,j}) + P(M_{i,j})) )
+//   VS (Eq. 4):  P = P_L + Σ_i µ_i Σ_j (P(L_{i,j}) + P(M_{i,j}))
+//   VM (Eq. 6):  P = P_L + Σ_j (P(L_{0,j}) + P(M_merged,j))
+//
+// with the merged per-stage memory given by the overlap model (DESIGN.md
+// Sec. 3). P(M) follows Table III: block-granular coefficients times the
+// operating frequency; P(L) is the Sec. V-C per-stage coefficient.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fpga/bram.hpp"
+#include "fpga/device.hpp"
+#include "power/scheme.hpp"
+
+namespace vr::power {
+
+/// One lookup pipeline's memory image: bits per stage (the M_{i,j} row).
+struct EngineSpec {
+  std::vector<std::uint64_t> stage_bits;
+
+  [[nodiscard]] std::size_t stage_count() const noexcept {
+    return stage_bits.size();
+  }
+};
+
+/// Operating conditions shared by the scheme estimators.
+struct OperatingPoint {
+  fpga::SpeedGrade grade = fpga::SpeedGrade::kMinus2;
+  fpga::BramPolicy bram_policy = fpga::BramPolicy::kMixed;
+  /// Clock every engine runs at, MHz.
+  double freq_mhz = 400.0;
+  /// Per-VN utilizations µ_i. Empty = uniform 1/K (Assumption 1). Must sum
+  /// to <= engines' capacity; the estimators only use the values.
+  std::vector<double> utilization;
+};
+
+/// Component breakdown of an estimate (watts).
+struct PowerBreakdown {
+  double static_w = 0.0;
+  double logic_w = 0.0;
+  double memory_w = 0.0;
+  std::size_t devices = 0;
+  double freq_mhz = 0.0;
+
+  [[nodiscard]] double total_w() const noexcept {
+    return static_w + logic_w + memory_w;
+  }
+  [[nodiscard]] double dynamic_w() const noexcept {
+    return logic_w + memory_w;
+  }
+};
+
+/// The analytical model, bound to a device.
+class AnalyticalModel {
+ public:
+  explicit AnalyticalModel(fpga::DeviceSpec device);
+
+  /// Eq. 2 — non-virtualized: engines.size() devices, one engine each.
+  [[nodiscard]] PowerBreakdown estimate_nv(
+      std::span<const EngineSpec> engines, const OperatingPoint& op) const;
+
+  /// Eq. 4 — virtualized-separate: one device hosting all engines.
+  [[nodiscard]] PowerBreakdown estimate_vs(
+      std::span<const EngineSpec> engines, const OperatingPoint& op) const;
+
+  /// Eq. 6 — virtualized-merged: one device, one merged engine whose
+  /// stage_bits already include the K-wide NHI leaves. The merged engine
+  /// serves the aggregate stream, so its dynamic power is weighted by
+  /// Σ µ_i (1 under Assumption 1).
+  [[nodiscard]] PowerBreakdown estimate_vm(const EngineSpec& merged_engine,
+                                           std::size_t vn_count,
+                                           const OperatingPoint& op) const;
+
+  /// P(M_{i,j}) for one stage of `bits` bits — Table III applied through
+  /// the allocator. Exposed for tests and the Table III bench.
+  [[nodiscard]] double stage_memory_power_w(std::uint64_t bits,
+                                            const OperatingPoint& op) const;
+
+  /// P(L_{i,j}) for one stage — the Sec. V-C linear coefficient.
+  [[nodiscard]] double stage_logic_power_w(const OperatingPoint& op) const;
+
+  [[nodiscard]] const fpga::DeviceSpec& device() const noexcept {
+    return device_;
+  }
+
+ private:
+  /// Resolves µ_i: explicit vector or uniform 1/K.
+  [[nodiscard]] std::vector<double> resolve_utilization(
+      const OperatingPoint& op, std::size_t vn_count) const;
+
+  /// Accumulates one engine's dynamic power at utilization u into
+  /// *logic_w / *memory_w.
+  void engine_dynamic_w(const EngineSpec& engine, double u,
+                        const OperatingPoint& op, double* logic_w,
+                        double* memory_w) const;
+
+  fpga::DeviceSpec device_;
+};
+
+}  // namespace vr::power

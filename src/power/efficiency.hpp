@@ -1,0 +1,27 @@
+// Power-efficiency metric (Sec. VI-B): milliwatts per Gbps of lookup
+// capacity — "the lower the mW/Gbps number is, the better".
+#pragma once
+
+#include "common/units.hpp"
+#include "power/analytical_model.hpp"
+#include "power/scheme.hpp"
+
+namespace vr::power {
+
+/// mW per Gbps given total power (W) and aggregate throughput (Gbps).
+[[nodiscard]] constexpr double mw_per_gbps(double power_w,
+                                           double throughput_gbps) noexcept {
+  return throughput_gbps <= 0.0
+             ? 0.0
+             : units::w_to_mw(power_w) / throughput_gbps;
+}
+
+/// Efficiency of a scheme's estimate at its operating clock.
+[[nodiscard]] inline double scheme_efficiency_mw_per_gbps(
+    Scheme scheme, std::size_t vn_count, const PowerBreakdown& power) noexcept {
+  return mw_per_gbps(power.total_w(),
+                     aggregate_throughput_gbps(scheme, vn_count,
+                                               power.freq_mhz));
+}
+
+}  // namespace vr::power

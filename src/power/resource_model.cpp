@@ -1,0 +1,94 @@
+#include "power/resource_model.hpp"
+
+#include "common/error.hpp"
+#include "fpga/xpe_tables.hpp"
+
+namespace vr::power {
+
+namespace {
+
+void fill_logic(SchemeResources& r) {
+  const auto pe = fpga::XpeTables::pe_footprint();
+  const std::uint64_t stages =
+      static_cast<std::uint64_t>(r.engines) * r.stages_per_engine;
+  r.luts = pe.total_luts() * stages;
+  r.flip_flops = pe.slice_registers * stages;
+}
+
+}  // namespace
+
+SchemeResources replicated_resources(Scheme scheme,
+                                     const trie::StageMemory& per_vn_memory,
+                                     std::size_t vn_count,
+                                     fpga::BramPolicy policy,
+                                     const fpga::IoBudget& io) {
+  VR_REQUIRE(scheme != Scheme::kMerged,
+             "replicated_resources covers NV and VS only");
+  VR_REQUIRE(vn_count >= 1, "vn_count must be >= 1");
+  SchemeResources r;
+  r.scheme = scheme;
+  r.devices = devices_for(scheme, vn_count);
+  r.engines = vn_count;
+  r.stages_per_engine = per_vn_memory.stage_count();
+  r.pointer_bits =
+      per_vn_memory.total_pointer_bits() * static_cast<std::uint64_t>(vn_count);
+  r.nhi_bits =
+      per_vn_memory.total_nhi_bits() * static_cast<std::uint64_t>(vn_count);
+  fill_logic(r);
+
+  // BRAM plan of one device: NV has one engine per device, VS stacks all K.
+  std::vector<std::uint64_t> device_stage_bits;
+  const std::size_t engines_on_device = engines_per_device(scheme, vn_count);
+  device_stage_bits.reserve(r.stages_per_engine * engines_on_device);
+  for (std::size_t e = 0; e < engines_on_device; ++e) {
+    for (std::size_t s = 0; s < r.stages_per_engine; ++s) {
+      device_stage_bits.push_back(per_vn_memory.stage_bits(s));
+    }
+  }
+  r.bram_per_device = fpga::plan_stage_bram(device_stage_bits, policy);
+
+  // I/O: every engine on a device needs its own interface (Sec. VI-A).
+  r.io_pins = io.required(engines_on_device);
+  return r;
+}
+
+SchemeResources merged_resources(const trie::StageMemory& merged_memory,
+                                 std::size_t vn_count,
+                                 fpga::BramPolicy policy,
+                                 const fpga::IoBudget& io) {
+  VR_REQUIRE(vn_count >= 1, "vn_count must be >= 1");
+  SchemeResources r;
+  r.scheme = Scheme::kMerged;
+  r.devices = 1;
+  r.engines = 1;
+  r.stages_per_engine = merged_memory.stage_count();
+  r.pointer_bits = merged_memory.total_pointer_bits();
+  r.nhi_bits = merged_memory.total_nhi_bits();
+  fill_logic(r);
+
+  std::vector<std::uint64_t> stage_bits;
+  stage_bits.reserve(r.stages_per_engine);
+  for (std::size_t s = 0; s < r.stages_per_engine; ++s) {
+    stage_bits.push_back(merged_memory.stage_bits(s));
+  }
+  r.bram_per_device = fpga::plan_stage_bram(stage_bits, policy);
+  r.io_pins = io.required(1);
+  return r;
+}
+
+FitReport check_fit(const SchemeResources& resources,
+                    const fpga::DeviceSpec& device) {
+  FitReport report;
+  report.bram_ok = resources.bram_per_device.total.halves() <=
+                   fpga::device_bram_halves(device);
+  // Logic is spread across `devices`; the per-device share must fit.
+  const auto devices = static_cast<std::uint64_t>(resources.devices);
+  report.luts_ok = resources.luts / devices <= device.luts;
+  report.flip_flops_ok = resources.flip_flops / devices <= device.flip_flops;
+  report.io_ok = resources.io_pins <= device.io_pins;
+  report.fits = report.bram_ok && report.luts_ok && report.flip_flops_ok &&
+                report.io_ok;
+  return report;
+}
+
+}  // namespace vr::power

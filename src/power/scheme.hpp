@@ -1,0 +1,55 @@
+// Router virtualization schemes (paper Sec. III/IV) and their throughput
+// semantics.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace vr::power {
+
+/// The three router configurations the paper models.
+enum class Scheme {
+  kNonVirtualized,  ///< NV: K dedicated devices, one engine each
+  kSeparate,        ///< VS: one device, K space-shared engines
+  kMerged,          ///< VM: one device, one time-shared engine
+};
+
+[[nodiscard]] constexpr const char* to_string(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kNonVirtualized:
+      return "non-virtualized";
+    case Scheme::kSeparate:
+      return "virtualized-separate";
+    case Scheme::kMerged:
+      return "virtualized-merged";
+  }
+  return "?";
+}
+
+/// Number of physical devices a K-VN deployment needs.
+[[nodiscard]] constexpr std::size_t devices_for(Scheme scheme,
+                                                std::size_t vn_count) noexcept {
+  return scheme == Scheme::kNonVirtualized ? vn_count : 1;
+}
+
+/// Number of lookup engines (pipelines) per device.
+[[nodiscard]] constexpr std::size_t engines_per_device(
+    Scheme scheme, std::size_t vn_count) noexcept {
+  return scheme == Scheme::kSeparate ? vn_count : 1;
+}
+
+/// Aggregate lookup capacity in Gbps at clock `freq_mhz` with minimum-size
+/// (40 B) packets: every engine sustains one lookup per cycle, so NV and VS
+/// scale with K while the merged engine is time-shared among the VNs
+/// (Sec. IV-C) and does not (this is why VM's mW/Gbps deteriorates,
+/// Sec. VI-B).
+[[nodiscard]] constexpr double aggregate_throughput_gbps(
+    Scheme scheme, std::size_t vn_count, double freq_mhz) noexcept {
+  const std::size_t engines =
+      devices_for(scheme, vn_count) * engines_per_device(scheme, vn_count);
+  return static_cast<double>(engines) *
+         units::lookup_throughput_gbps(freq_mhz, units::kMinPacketBytes);
+}
+
+}  // namespace vr::power

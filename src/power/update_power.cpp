@@ -1,0 +1,38 @@
+#include "power/update_power.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace vr::power {
+
+double adjusted_bram_power_w(double table3_power_w, double write_rate,
+                             const UpdateRateModel& model) {
+  VR_REQUIRE(write_rate >= 0.0 && write_rate <= 1.0,
+             "write rate must be in [0,1]");
+  return table3_power_w *
+         (1.0 + model.write_power_sensitivity *
+                    (write_rate - model.baseline_write_rate));
+}
+
+double effective_lookup_gbps(double freq_mhz, const UpdateLoad& load) {
+  const double stolen = std::min(1.0, load.write_slot_fraction(freq_mhz));
+  return (1.0 - stolen) *
+         units::lookup_throughput_gbps(freq_mhz, units::kMinPacketBytes);
+}
+
+UpdateLoad measure_update_load(const net::RoutingTable& base,
+                               const std::vector<net::RouteUpdate>& updates,
+                               double updates_per_second) {
+  UpdateLoad load;
+  load.updates_per_second = updates_per_second;
+  if (updates.empty()) return load;
+  trie::UpdatableTrie trie(base);
+  const trie::UpdateCost total = trie::apply_all(trie, updates);
+  load.words_per_update = static_cast<double>(total.words_written) /
+                          static_cast<double>(updates.size());
+  return load;
+}
+
+}  // namespace vr::power

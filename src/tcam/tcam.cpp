@@ -1,0 +1,92 @@
+#include "tcam/tcam.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace vr::tcam {
+
+std::vector<TcamEntry> entries_from_table(const net::RoutingTable& table) {
+  std::vector<TcamEntry> entries;
+  entries.reserve(table.size());
+  for (const net::Route& route : table.routes()) {
+    TcamEntry entry;
+    entry.value = route.prefix.address().value();
+    entry.mask = prefix_mask(route.prefix.length());
+    entry.next_hop = route.next_hop;
+    entry.prefix_length = route.prefix.length();
+    entries.push_back(entry);
+  }
+  // Longest prefix first => first match wins is LPM. stable to keep the
+  // table's deterministic order among equal lengths.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const TcamEntry& a, const TcamEntry& b) {
+                     return a.prefix_length > b.prefix_length;
+                   });
+  return entries;
+}
+
+FlatTcam::FlatTcam(const net::RoutingTable& table)
+    : entries_(entries_from_table(table)) {}
+
+std::optional<net::NextHop> FlatTcam::search(net::Ipv4 addr) const {
+  for (const TcamEntry& entry : entries_) {
+    if (entry.matches(addr.value())) return entry.next_hop;
+  }
+  return std::nullopt;
+}
+
+PartitionedTcam::PartitionedTcam(const net::RoutingTable& table,
+                                 unsigned index_bits)
+    : index_bits_(index_bits) {
+  VR_REQUIRE(index_bits >= 1 && index_bits <= 12,
+             "index_bits must be in [1,12]");
+  banks_.resize(std::size_t{1} << index_bits);
+  for (const TcamEntry& entry : entries_from_table(table)) {
+    if (entry.prefix_length >= index_bits_) {
+      // The index bits are fully specified: exactly one bank.
+      const std::size_t bank = entry.value >> (32u - index_bits_);
+      banks_[bank].push_back(entry);
+    } else {
+      // Short prefix: replicate into every bank it covers (controlled
+      // prefix expansion of the index field).
+      const unsigned free_bits = index_bits_ - entry.prefix_length;
+      const std::size_t base = entry.value >> (32u - index_bits_);
+      const std::size_t span = std::size_t{1} << free_bits;
+      for (std::size_t i = 0; i < span; ++i) {
+        banks_[base + i].push_back(entry);
+      }
+    }
+  }
+  // Entries inside each bank remain longest-first because the source list
+  // was sorted and we appended in order.
+}
+
+std::optional<net::NextHop> PartitionedTcam::search(net::Ipv4 addr) const {
+  const std::size_t bank = addr.value() >> (32u - index_bits_);
+  for (const TcamEntry& entry : banks_[bank]) {
+    if (entry.matches(addr.value())) return entry.next_hop;
+  }
+  return std::nullopt;
+}
+
+std::size_t PartitionedTcam::entry_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& bank : banks_) total += bank.size();
+  return total;
+}
+
+std::size_t PartitionedTcam::entries_triggered_per_search() const noexcept {
+  std::size_t worst = 0;
+  for (const auto& bank : banks_) worst = std::max(worst, bank.size());
+  return worst;
+}
+
+double PartitionedTcam::mean_bank_size() const noexcept {
+  if (banks_.empty()) return 0.0;
+  return static_cast<double>(entry_count()) /
+         static_cast<double>(banks_.size());
+}
+
+}  // namespace vr::tcam

@@ -1,0 +1,44 @@
+#include "tcam/tcam_power.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace vr::tcam {
+
+TcamPowerReport tcam_power(std::size_t entries_stored,
+                           std::size_t entries_triggered,
+                           const TcamPowerParams& params) {
+  TcamPowerReport report;
+  const double searches_per_second = params.clock_mhz * 1e6;
+  const double energy_per_search_j =
+      static_cast<double>(entries_triggered) * params.bits_per_entry *
+      params.search_fj_per_bit * 1e-15;
+  report.dynamic_w = energy_per_search_j * searches_per_second;
+  report.static_w = static_cast<double>(entries_stored) *
+                    params.bits_per_entry * params.leakage_nw_per_bit * 1e-9;
+  report.throughput_gbps = units::lookup_throughput_gbps(
+      params.clock_mhz, units::kMinPacketBytes);
+  return report;
+}
+
+TcamPowerReport tcam_power(const FlatTcam& tcam,
+                           const TcamPowerParams& params) {
+  // The whole physical array is precharged per search and leaks always.
+  const std::size_t array =
+      std::max(tcam.entry_count(), params.chip_capacity_entries);
+  return tcam_power(array, array, params);
+}
+
+TcamPowerReport tcam_power(const PartitionedTcam& tcam,
+                           const TcamPowerParams& params) {
+  const std::size_t array =
+      std::max(tcam.entry_count(), params.chip_capacity_entries);
+  // One bank's share of the array is activated per search ([20]).
+  const std::size_t bank_array = std::max<std::size_t>(
+      static_cast<std::size_t>(std::llround(tcam.mean_bank_size())),
+      array / tcam.bank_count());
+  return tcam_power(array, bank_array, params);
+}
+
+}  // namespace vr::tcam

@@ -1,0 +1,66 @@
+// TCAM power model.
+//
+// Representative constants from the TCAM literature the paper cites
+// (Sec. II-B; Zheng et al. [20], IPStash [10]): match-line + search-line
+// energy of a few femtojoules per bit per activated entry per search, plus
+// leakage proportional to stored entries. With every entry activated every
+// cycle, an 18 Mbit-class TCAM at wire speed burns ~15 W — two orders of
+// magnitude above the per-search energy of one SRAM/BRAM access, which is
+// exactly why the paper's Sec. II-B calls TCAMs "power hungry due to
+// [their] massively parallel search".
+#pragma once
+
+#include <cstddef>
+
+#include "tcam/tcam.hpp"
+
+namespace vr::tcam {
+
+struct TcamPowerParams {
+  /// Dynamic search energy per bit per activated entry, femtojoules.
+  double search_fj_per_bit = 5.4;
+  /// Entry width in ternary bits (IPv4 value+mask word).
+  unsigned bits_per_entry = 36;
+  /// Leakage per stored ternary bit, nanowatts.
+  double leakage_nw_per_bit = 18.0;
+  /// Search rate: one search per clock. Commodity TCAMs close timing well
+  /// below FPGA BRAM pipelines.
+  double clock_mhz = 150.0;
+  /// Physical array size of the chip (18 Mbit-class part). A commodity
+  /// TCAM precharges and leaks across its WHOLE array regardless of how
+  /// many entries are occupied, which is the core of the paper's
+  /// "power hungry" characterization; banked organizations activate only
+  /// capacity/banks per search.
+  std::size_t chip_capacity_entries = 512 * 1024;
+};
+
+/// Power report of a TCAM deployment.
+struct TcamPowerReport {
+  double dynamic_w = 0.0;
+  double static_w = 0.0;
+  double throughput_gbps = 0.0;  ///< 40 B packets, one search per cycle
+
+  [[nodiscard]] double total_w() const noexcept {
+    return dynamic_w + static_w;
+  }
+  [[nodiscard]] double mw_per_gbps() const noexcept {
+    return throughput_gbps <= 0.0 ? 0.0
+                                  : total_w() * 1e3 / throughput_gbps;
+  }
+};
+
+/// Power of a search activating `entries_triggered` of `entries_stored`
+/// entries at the parameterized clock.
+[[nodiscard]] TcamPowerReport tcam_power(std::size_t entries_stored,
+                                         std::size_t entries_triggered,
+                                         const TcamPowerParams& params = {});
+
+/// Convenience overloads for the two organizations. The partitioned TCAM
+/// is charged its *mean* activated bank (matching [20]'s load-balancing
+/// objective).
+[[nodiscard]] TcamPowerReport tcam_power(const FlatTcam& tcam,
+                                         const TcamPowerParams& params = {});
+[[nodiscard]] TcamPowerReport tcam_power(const PartitionedTcam& tcam,
+                                         const TcamPowerParams& params = {});
+
+}  // namespace vr::tcam

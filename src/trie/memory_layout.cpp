@@ -1,0 +1,35 @@
+#include "trie/memory_layout.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace vr::trie {
+
+std::uint64_t StageMemory::total_pointer_bits() const noexcept {
+  return std::accumulate(pointer_bits.begin(), pointer_bits.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t StageMemory::total_nhi_bits() const noexcept {
+  return std::accumulate(nhi_bits.begin(), nhi_bits.end(), std::uint64_t{0});
+}
+
+StageMemory stage_memory(const StageOccupancy& occ,
+                         const NodeEncoding& encoding, std::size_t vn_count) {
+  VR_REQUIRE(vn_count >= 1, "vn_count must be at least 1");
+  StageMemory memory;
+  const std::size_t stages = occ.nodes.size();
+  memory.pointer_bits.assign(stages, 0);
+  memory.nhi_bits.assign(stages, 0);
+  for (std::size_t s = 0; s < stages; ++s) {
+    memory.pointer_bits[s] =
+        static_cast<std::uint64_t>(occ.internal_nodes[s]) *
+        encoding.internal_word_bits();
+    memory.nhi_bits[s] = static_cast<std::uint64_t>(occ.leaf_nodes[s]) *
+                         encoding.leaf_word_bits(vn_count);
+  }
+  return memory;
+}
+
+}  // namespace vr::trie

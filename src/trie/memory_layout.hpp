@@ -1,0 +1,61 @@
+// Node memory encodings: translates per-stage node counts into per-stage
+// memory sizes in bits — the M_{i,j} of the paper's models.
+//
+// Representative encoding (DESIGN.md Sec. 4): the paper assumes 18-bit wide
+// BRAM datapaths (Sec. V-B), so an internal ("pointer") node stores two
+// 18-bit child pointers = 36 bits, and a leaf stores next-hop information
+// (NHI) at 8 bits per virtual network. In the merged scheme a leaf is a
+// K-wide NHI vector indexed by VNID (Sec. V-D).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "trie/stage_mapping.hpp"
+
+namespace vr::trie {
+
+/// Bit widths of the on-chip node encodings.
+struct NodeEncoding {
+  unsigned pointer_bits = 18;  ///< one child pointer
+  unsigned nhi_bits = 8;       ///< next hop per virtual network
+
+  /// Bits of one internal node word (two child pointers).
+  [[nodiscard]] unsigned internal_word_bits() const noexcept {
+    return 2 * pointer_bits;
+  }
+
+  /// Bits of one leaf word serving `vn_count` virtual networks (a vector
+  /// leaf when vn_count > 1, per Sec. V-D).
+  [[nodiscard]] unsigned leaf_word_bits(std::size_t vn_count) const noexcept {
+    return nhi_bits * static_cast<unsigned>(vn_count);
+  }
+};
+
+/// Per-stage memory demand, split the way the paper's Fig. 4 reports it:
+/// pointer memory (internal nodes) vs. NHI memory (leaves).
+struct StageMemory {
+  std::vector<std::uint64_t> pointer_bits;  ///< per stage
+  std::vector<std::uint64_t> nhi_bits;      ///< per stage
+
+  [[nodiscard]] std::uint64_t total_pointer_bits() const noexcept;
+  [[nodiscard]] std::uint64_t total_nhi_bits() const noexcept;
+  [[nodiscard]] std::uint64_t total_bits() const noexcept {
+    return total_pointer_bits() + total_nhi_bits();
+  }
+  /// Combined bits of stage `s`.
+  [[nodiscard]] std::uint64_t stage_bits(std::size_t s) const {
+    return pointer_bits.at(s) + nhi_bits.at(s);
+  }
+  [[nodiscard]] std::size_t stage_count() const noexcept {
+    return pointer_bits.size();
+  }
+};
+
+/// Memory demand of one trie (one virtual network) under a stage mapping.
+/// `vn_count` widens the leaf words for merged-scheme vector leaves.
+[[nodiscard]] StageMemory stage_memory(const StageOccupancy& occ,
+                                       const NodeEncoding& encoding,
+                                       std::size_t vn_count = 1);
+
+}  // namespace vr::trie

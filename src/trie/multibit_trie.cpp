@@ -1,0 +1,101 @@
+#include "trie/multibit_trie.hpp"
+
+#include "common/error.hpp"
+
+namespace vr::trie {
+
+MultibitTrie::MultibitTrie(const net::RoutingTable& table, unsigned stride)
+    : stride_(stride) {
+  VR_REQUIRE(stride == 1 || stride == 2 || stride == 4 || stride == 8,
+             "stride must be 1, 2, 4 or 8");
+  allocate_node(0);  // root
+  for (const net::Route& route : table.routes()) {
+    insert(route);
+  }
+}
+
+NodeIndex MultibitTrie::allocate_node(std::size_t level) {
+  const auto index = static_cast<NodeIndex>(nodes_.size());
+  nodes_.push_back(static_cast<std::uint8_t>(level));
+  entries_.insert(entries_.end(), entries_per_node(), Entry{});
+  if (level_node_counts_.size() <= level) {
+    level_node_counts_.resize(level + 1, 0);
+  }
+  ++level_node_counts_[level];
+  return index;
+}
+
+void MultibitTrie::insert(const net::Route& route) {
+  NodeIndex current = 0;
+  unsigned consumed = 0;
+  const unsigned length = route.prefix.length();
+  const std::uint32_t addr = route.prefix.address().value();
+
+  // Descend full-stride levels.
+  while (length - consumed > stride_) {
+    const std::size_t slot =
+        (addr >> (32u - consumed - stride_)) & ((1u << stride_) - 1u);
+    Entry& e = entry(current, slot);
+    if (e.child == kNullNode) {
+      const std::size_t level = consumed / stride_ + 1;
+      const NodeIndex fresh = allocate_node(level);
+      entry(current, slot).child = fresh;  // re-fetch after realloc
+    }
+    current = entry(current, slot).child;
+    consumed += stride_;
+  }
+
+  // Controlled prefix expansion of the last (partial) stride: the route
+  // covers 2^(stride - r) entries; longer original prefixes win ties.
+  const unsigned r = length - consumed;  // 0 < r <= stride unless length==0
+  if (length == 0) {
+    // Default route: covers every entry of the root.
+    for (std::size_t slot = 0; slot < entries_per_node(); ++slot) {
+      Entry& e = entry(0, slot);
+      if (e.route_len == 0 && e.next_hop == net::kNoRoute) {
+        e.next_hop = route.next_hop;
+      }
+    }
+    return;
+  }
+  const std::size_t base =
+      r == 0 ? 0
+             : ((addr >> (32u - consumed - stride_)) &
+                ((1u << stride_) - 1u) & ~((1u << (stride_ - r)) - 1u));
+  const std::size_t span = std::size_t{1} << (stride_ - r);
+  for (std::size_t i = 0; i < span; ++i) {
+    Entry& e = entry(current, base + i);
+    if (e.next_hop == net::kNoRoute || e.route_len <= length) {
+      e.next_hop = route.next_hop;
+      e.route_len = static_cast<std::uint8_t>(length);
+    }
+  }
+}
+
+std::optional<net::NextHop> MultibitTrie::lookup(net::Ipv4 addr) const {
+  std::optional<net::NextHop> best;
+  NodeIndex current = 0;
+  for (unsigned consumed = 0; consumed < 32; consumed += stride_) {
+    const std::size_t slot =
+        (addr.value() >> (32u - consumed - stride_)) &
+        ((1u << stride_) - 1u);
+    const Entry& e = entry(current, slot);
+    if (e.next_hop != net::kNoRoute) best = e.next_hop;
+    if (e.child == kNullNode) break;
+    current = e.child;
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> MultibitTrie::level_memory_bits(
+    unsigned pointer_bits, unsigned nhi_bits) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(level_node_counts_.size());
+  for (const std::size_t count : level_node_counts_) {
+    out.push_back(static_cast<std::uint64_t>(count) * entries_per_node() *
+                  (pointer_bits + nhi_bits));
+  }
+  return out;
+}
+
+}  // namespace vr::trie

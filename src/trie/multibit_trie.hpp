@@ -1,0 +1,86 @@
+// Fixed-stride multibit trie with controlled prefix expansion — the other
+// end of the design space in the paper's reference [16] (Ruiz-Sanchez et
+// al., "Survey and taxonomy of IP address lookup algorithms"), which also
+// supplies the leaf-pushing technique the paper deploys. A stride-k trie
+// consumes k address bits per level, so a pipeline needs only ceil(32/k)
+// stages (less logic power per lookup), at the price of node expansion
+// (each node stores 2^k entries, and prefixes are expanded to stride
+// boundaries). The `ablation_stride` bench quantifies the tradeoff with
+// the paper's power coefficients.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/routing_table.hpp"
+#include "trie/unibit_trie.hpp"
+
+namespace vr::trie {
+
+class MultibitTrie {
+ public:
+  /// Supported strides divide 32 evenly: 1, 2, 4 or 8.
+  MultibitTrie(const net::RoutingTable& table, unsigned stride);
+
+  [[nodiscard]] std::optional<net::NextHop> lookup(net::Ipv4 addr) const;
+
+  [[nodiscard]] unsigned stride() const noexcept { return stride_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t entries_per_node() const noexcept {
+    return std::size_t{1} << stride_;
+  }
+  /// Total stored entries (nodes x 2^stride).
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return node_count() * entries_per_node();
+  }
+  /// Pipeline depth: one level per stage.
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return level_node_counts_.size();
+  }
+  [[nodiscard]] const std::vector<std::size_t>& level_node_counts() const
+      noexcept {
+    return level_node_counts_;
+  }
+
+  /// Memory footprint in bits: every entry stores a child pointer plus a
+  /// next hop (`pointer_bits` + `nhi_bits` wide words).
+  [[nodiscard]] std::uint64_t memory_bits(unsigned pointer_bits = 18,
+                                          unsigned nhi_bits = 8) const
+      noexcept {
+    return static_cast<std::uint64_t>(entry_count()) *
+           (pointer_bits + nhi_bits);
+  }
+
+  /// Per-level memory bits (for stage-mapped power evaluation).
+  [[nodiscard]] std::vector<std::uint64_t> level_memory_bits(
+      unsigned pointer_bits = 18, unsigned nhi_bits = 8) const;
+
+ private:
+  struct Entry {
+    NodeIndex child = kNullNode;
+    net::NextHop next_hop = net::kNoRoute;
+    /// Length of the route stored here (expansion priority tie-breaker);
+    /// build-time only.
+    std::uint8_t route_len = 0;
+  };
+
+  [[nodiscard]] Entry& entry(NodeIndex node, std::size_t slot) {
+    return entries_[node * entries_per_node() + slot];
+  }
+  [[nodiscard]] const Entry& entry(NodeIndex node, std::size_t slot) const {
+    return entries_[node * entries_per_node() + slot];
+  }
+
+  NodeIndex allocate_node(std::size_t level);
+  void insert(const net::Route& route);
+
+  unsigned stride_;
+  std::vector<std::uint8_t> nodes_;  // per-node level (value unused beyond size)
+  std::vector<Entry> entries_;       // node-major, 2^stride per node
+  std::vector<std::size_t> level_node_counts_;
+};
+
+}  // namespace vr::trie

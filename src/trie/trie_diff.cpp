@@ -1,0 +1,63 @@
+#include "trie/trie_diff.hpp"
+
+#include <vector>
+
+namespace vr::trie {
+
+namespace {
+
+/// Counts all nodes in the subtree rooted at `node`.
+std::size_t subtree_size(const UnibitTrie& trie, NodeIndex node) {
+  std::size_t count = 0;
+  std::vector<NodeIndex> stack{node};
+  while (!stack.empty()) {
+    const NodeIndex current = stack.back();
+    stack.pop_back();
+    ++count;
+    const TrieNode& n = trie.node(current);
+    if (n.left != kNullNode) stack.push_back(n.left);
+    if (n.right != kNullNode) stack.push_back(n.right);
+  }
+  return count;
+}
+
+}  // namespace
+
+TrieDiff diff_tries(const UnibitTrie& before, const UnibitTrie& after) {
+  TrieDiff diff;
+  struct Frame {
+    NodeIndex b;
+    NodeIndex a;
+  };
+  std::vector<Frame> stack{{before.root(), after.root()}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const TrieNode& b = before.node(frame.b);
+    const TrieNode& a = after.node(frame.a);
+    // Contents differ when the next hop differs or the child topology
+    // differs (a pointer word rewrite either way).
+    const bool topology_changed =
+        (b.left == kNullNode) != (a.left == kNullNode) ||
+        (b.right == kNullNode) != (a.right == kNullNode);
+    if (b.next_hop != a.next_hop || topology_changed) {
+      ++diff.nodes_changed;
+    } else {
+      ++diff.nodes_unchanged;
+    }
+    for (const bool right : {false, true}) {
+      const NodeIndex bc = right ? b.right : b.left;
+      const NodeIndex ac = right ? a.right : a.left;
+      if (bc != kNullNode && ac != kNullNode) {
+        stack.push_back(Frame{bc, ac});
+      } else if (bc != kNullNode) {
+        diff.nodes_removed += subtree_size(before, bc);
+      } else if (ac != kNullNode) {
+        diff.nodes_added += subtree_size(after, ac);
+      }
+    }
+  }
+  return diff;
+}
+
+}  // namespace vr::trie

@@ -1,0 +1,35 @@
+// Structural diff between two tries: counts the node words a deployment
+// would have to rewrite to turn one into the other. Used to quantify the
+// WRITE AMPLIFICATION of leaf pushing under route updates — the problem
+// the paper's reference [6] ("Towards on-the-fly incremental updates for
+// virtualized routers on FPGA") addresses: in a leaf-pushed trie a single
+// announce can change the inherited next hop of an entire subtree of
+// leaves, while the raw trie changes O(prefix length) words.
+#pragma once
+
+#include <cstddef>
+
+#include "trie/unibit_trie.hpp"
+
+namespace vr::trie {
+
+/// Word-level difference between deployments of `before` and `after`.
+struct TrieDiff {
+  std::size_t nodes_added = 0;     ///< in `after` but not `before`
+  std::size_t nodes_removed = 0;   ///< in `before` but not `after`
+  std::size_t nodes_changed = 0;   ///< same position, different contents
+  std::size_t nodes_unchanged = 0;
+
+  /// Memory words that must be written to apply the transition (added +
+  /// changed nodes, plus one parent-pointer write per removal).
+  [[nodiscard]] std::size_t words_written() const noexcept {
+    return nodes_added + nodes_changed + nodes_removed;
+  }
+};
+
+/// Computes the positional diff (two tries compared along their common
+/// structure from the root; a node "position" is its bit path).
+[[nodiscard]] TrieDiff diff_tries(const UnibitTrie& before,
+                                  const UnibitTrie& after);
+
+}  // namespace vr::trie

@@ -1,0 +1,35 @@
+// Structural statistics of a trie — the quantities the power models consume
+// (node counts per level, pointer vs. NHI nodes) and the numbers Sec. V-E
+// of the paper reports (3 725 prefixes -> 9 726 nodes -> 16 127 leaf-pushed).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trie/unibit_trie.hpp"
+
+namespace vr::trie {
+
+struct TrieStats {
+  std::size_t total_nodes = 0;
+  std::size_t internal_nodes = 0;  // pointer nodes (have >=1 child)
+  std::size_t leaf_nodes = 0;      // NHI nodes
+  unsigned height = 0;
+  /// Nodes per level, internal and leaf separately. Size = height+1.
+  std::vector<std::size_t> nodes_per_level;
+  std::vector<std::size_t> internal_per_level;
+  std::vector<std::size_t> leaves_per_level;
+
+  /// total_nodes / prefix_count given the source table size.
+  [[nodiscard]] double nodes_per_prefix(std::size_t prefix_count) const {
+    return prefix_count == 0
+               ? 0.0
+               : static_cast<double>(total_nodes) /
+                     static_cast<double>(prefix_count);
+  }
+};
+
+/// Computes statistics in one pass over the (level-ordered) node array.
+[[nodiscard]] TrieStats compute_stats(const UnibitTrie& trie);
+
+}  // namespace vr::trie

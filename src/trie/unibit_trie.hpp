@@ -1,0 +1,103 @@
+// Uni-bit binary trie for IP lookup — the representative data structure the
+// paper maps onto the lookup pipeline (Sec. V-D): one trie level per
+// pipeline stage, NHI stored at leaves after leaf pushing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/routing_table.hpp"
+
+namespace vr::trie {
+
+/// Index of a node inside a trie's node vector.
+using NodeIndex = std::uint32_t;
+inline constexpr NodeIndex kNullNode = 0xffffffffu;
+
+/// A trie node. Nodes are stored level-contiguously after construction so
+/// that mapping onto pipeline stages is a simple slice per level.
+struct TrieNode {
+  NodeIndex left = kNullNode;   // child for bit 0
+  NodeIndex right = kNullNode;  // child for bit 1
+  /// Next hop attached to this node (kNoRoute if none). After leaf pushing
+  /// only leaves carry one.
+  net::NextHop next_hop = net::kNoRoute;
+
+  [[nodiscard]] bool is_leaf() const noexcept {
+    return left == kNullNode && right == kNullNode;
+  }
+  [[nodiscard]] bool has_route() const noexcept {
+    return next_hop != net::kNoRoute;
+  }
+};
+
+/// An immutable uni-bit trie built from a routing table. Always contains at
+/// least the root node. Supports longest-prefix-match lookup and leaf
+/// pushing (Sec. V-D; [16] in the paper).
+class UnibitTrie {
+ public:
+  /// Builds the trie of a routing table. The node vector is stored in
+  /// breadth-first (level) order: all level-0 nodes, then level-1, ...
+  explicit UnibitTrie(const net::RoutingTable& table);
+
+  /// Longest-prefix match: next hop of the most specific route covering
+  /// `addr`, or nullopt.
+  [[nodiscard]] std::optional<net::NextHop> lookup(net::Ipv4 addr) const;
+
+  /// Returns the leaf-pushed version of this trie: internal prefixes are
+  /// pushed down so that (a) every internal node has exactly two children
+  /// and (b) only leaves carry next hops. Lookup results are identical
+  /// (for addresses with no route, leaf-pushed lookup also returns nullopt
+  /// because pushed leaves inherit kNoRoute when there is nothing to push).
+  [[nodiscard]] UnibitTrie leaf_pushed() const;
+
+  [[nodiscard]] bool is_leaf_pushed() const noexcept { return leaf_pushed_; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::span<const TrieNode> nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const TrieNode& node(NodeIndex i) const {
+    return nodes_[i];
+  }
+  [[nodiscard]] NodeIndex root() const noexcept { return 0; }
+
+  /// Depth of the deepest node; the empty-table trie has height 0.
+  [[nodiscard]] unsigned height() const noexcept {
+    return static_cast<unsigned>(level_offsets_.size() - 2);
+  }
+
+  /// Number of levels (height + 1).
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return level_offsets_.size() - 1;
+  }
+
+  /// Nodes of level `l` as a contiguous span (level order is guaranteed).
+  [[nodiscard]] std::span<const TrieNode> level(std::size_t l) const;
+
+  /// First node index of level `l` (level_offsets()[level_count()] is the
+  /// total node count).
+  [[nodiscard]] std::span<const std::size_t> level_offsets() const noexcept {
+    return level_offsets_;
+  }
+
+  /// Level of a node (O(log levels)).
+  [[nodiscard]] std::size_t level_of(NodeIndex node) const;
+
+ private:
+  UnibitTrie() = default;
+
+  /// Re-canonicalizes `nodes_` into breadth-first order and rebuilds
+  /// level_offsets_.
+  void canonicalize();
+
+  std::vector<TrieNode> nodes_;
+  std::vector<std::size_t> level_offsets_;  // size level_count()+1
+  bool leaf_pushed_ = false;
+};
+
+}  // namespace vr::trie

@@ -1,0 +1,153 @@
+#include "virt/merged_trie.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace vr::virt {
+
+double MergeStats::alpha_effective(std::size_t vn_count) const noexcept {
+  if (vn_count <= 1) return 1.0;
+  if (merged_nodes == 0) return 0.0;
+  const double s = static_cast<double>(sum_input_nodes);
+  const double t = static_cast<double>(merged_nodes);
+  const double alpha = (s / t - 1.0) / static_cast<double>(vn_count - 1);
+  return std::clamp(alpha, 0.0, 1.0);
+}
+
+MergedTrie::MergedTrie(std::span<const trie::UnibitTrie* const> tries)
+    : vn_count_(tries.size()) {
+  VR_REQUIRE(!tries.empty(), "merge requires at least one trie");
+  for (const auto* t : tries) {
+    VR_REQUIRE(t != nullptr, "null trie in merge input");
+    stats_.sum_input_nodes += t->node_count();
+  }
+
+  // Breadth-first simultaneous walk of all K tries. A frame carries, for
+  // each input trie, the index of its node at the current merged position
+  // (kNullNode when that trie has no node here).
+  struct Frame {
+    std::vector<trie::NodeIndex> srcs;
+  };
+  std::deque<Frame> frontier;
+  {
+    Frame root;
+    root.srcs.assign(vn_count_, 0);  // every trie has a root
+    frontier.push_back(std::move(root));
+  }
+  level_offsets_.push_back(0);
+
+  while (!frontier.empty()) {
+    const std::size_t level_size = frontier.size();
+    for (std::size_t i = 0; i < level_size; ++i) {
+      Frame frame = std::move(frontier.front());
+      frontier.pop_front();
+
+      MergedNode node;
+      std::uint16_t present = 0;
+      bool any_left = false;
+      bool any_right = false;
+      for (std::size_t v = 0; v < vn_count_; ++v) {
+        const trie::NodeIndex src = frame.srcs[v];
+        net::NextHop hop = net::kNoRoute;
+        if (src != trie::kNullNode) {
+          ++present;
+          const trie::TrieNode& n = tries[v]->node(src);
+          hop = n.next_hop;
+          any_left = any_left || n.left != trie::kNullNode;
+          any_right = any_right || n.right != trie::kNullNode;
+        }
+        next_hops_.push_back(hop);
+      }
+      node.present_in = present;
+
+      if (any_left) {
+        Frame child;
+        child.srcs.resize(vn_count_);
+        for (std::size_t v = 0; v < vn_count_; ++v) {
+          const trie::NodeIndex src = frame.srcs[v];
+          child.srcs[v] = src == trie::kNullNode ? trie::kNullNode
+                                                 : tries[v]->node(src).left;
+        }
+        // Child indices are assigned in frontier order. At this point
+        // nodes_ holds P + i nodes (P = nodes of all previous levels; the
+        // current node is appended below) and the frontier holds the
+        // remaining frames of this level plus the children queued so far,
+        // so the child lands at P + level_size + children_so_far
+        // = nodes_.size() + frontier.size() + 1.
+        node.left =
+            static_cast<trie::NodeIndex>(nodes_.size() + frontier.size() + 1);
+        frontier.push_back(std::move(child));
+      }
+      if (any_right) {
+        Frame child;
+        child.srcs.resize(vn_count_);
+        for (std::size_t v = 0; v < vn_count_; ++v) {
+          const trie::NodeIndex src = frame.srcs[v];
+          child.srcs[v] = src == trie::kNullNode ? trie::kNullNode
+                                                 : tries[v]->node(src).right;
+        }
+        node.right =
+            static_cast<trie::NodeIndex>(nodes_.size() + frontier.size() + 1);
+        frontier.push_back(std::move(child));
+      }
+      nodes_.push_back(node);
+      if (present >= 2) ++stats_.shared_any;
+      if (present == vn_count_ && vn_count_ >= 2) ++stats_.shared_all;
+    }
+    level_offsets_.push_back(nodes_.size());
+  }
+  stats_.merged_nodes = nodes_.size();
+}
+
+std::optional<net::NextHop> MergedTrie::lookup(net::Ipv4 addr,
+                                               net::VnId vn) const {
+  VR_REQUIRE(vn < vn_count_, "VNID out of range");
+  std::optional<net::NextHop> best;
+  trie::NodeIndex current = 0;
+  for (unsigned depth = 0;; ++depth) {
+    const MergedNode& node = nodes_[current];
+    const net::NextHop hop = next_hop(current, vn);
+    if (hop != net::kNoRoute) best = hop;
+    if (depth >= 32) break;
+    const trie::NodeIndex child =
+        bit_at(addr.value(), depth) ? node.right : node.left;
+    if (child == trie::kNullNode) break;
+    current = child;
+  }
+  return best;
+}
+
+std::span<const MergedNode> MergedTrie::level(std::size_t l) const {
+  VR_REQUIRE(l < level_count(), "merged trie level out of range");
+  return {nodes_.data() + level_offsets_[l],
+          level_offsets_[l + 1] - level_offsets_[l]};
+}
+
+trie::TrieStats MergedTrie::stats_as_trie() const {
+  trie::TrieStats stats;
+  stats.total_nodes = nodes_.size();
+  stats.height = height();
+  const std::size_t levels = level_count();
+  stats.nodes_per_level.assign(levels, 0);
+  stats.internal_per_level.assign(levels, 0);
+  stats.leaves_per_level.assign(levels, 0);
+  for (std::size_t l = 0; l < levels; ++l) {
+    const auto lvl = level(l);
+    stats.nodes_per_level[l] = lvl.size();
+    for (const MergedNode& node : lvl) {
+      if (node.is_leaf()) {
+        ++stats.leaves_per_level[l];
+      } else {
+        ++stats.internal_per_level[l];
+      }
+    }
+    stats.internal_nodes += stats.internal_per_level[l];
+    stats.leaf_nodes += stats.leaves_per_level[l];
+  }
+  return stats;
+}
+
+}  // namespace vr::virt

@@ -1,0 +1,250 @@
+#include "virt/updatable_merged.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace vr::virt {
+
+UpdatableMergedTrie::UpdatableMergedTrie(
+    std::span<const net::RoutingTable* const> tables)
+    : vn_count_(tables.size()) {
+  VR_REQUIRE(!tables.empty() && tables.size() <= 64,
+             "updatable merged trie supports 1..64 virtual networks");
+  route_counts_.assign(vn_count_, 0);
+  present_counts_.assign(vn_count_, 0);
+
+  // Root: present for every VN (every trie has a root).
+  nodes_.push_back(Node{});
+  next_hops_.assign(vn_count_, net::kNoRoute);
+  subtree_routes_.assign(vn_count_, 0);
+  live_nodes_ = 1;
+  for (net::VnId v = 0; v < vn_count_; ++v) {
+    nodes_[0].presence |= std::uint64_t{1} << v;
+    present_counts_[v] = 1;
+  }
+
+  for (net::VnId v = 0; v < vn_count_; ++v) {
+    VR_REQUIRE(tables[v] != nullptr, "null routing table");
+    for (const net::Route& route : tables[v]->routes()) {
+      announce(v, route);
+    }
+  }
+}
+
+trie::NodeIndex UpdatableMergedTrie::allocate() {
+  trie::NodeIndex index;
+  if (!free_list_.empty()) {
+    index = free_list_.back();
+    free_list_.pop_back();
+    nodes_[index] = Node{};
+    std::fill_n(next_hops_.begin() +
+                    static_cast<std::ptrdiff_t>(index * vn_count_),
+                vn_count_, net::kNoRoute);
+    std::fill_n(subtree_routes_.begin() +
+                    static_cast<std::ptrdiff_t>(index * vn_count_),
+                vn_count_, std::uint16_t{0});
+  } else {
+    index = static_cast<trie::NodeIndex>(nodes_.size());
+    nodes_.push_back(Node{});
+    next_hops_.insert(next_hops_.end(), vn_count_, net::kNoRoute);
+    subtree_routes_.insert(subtree_routes_.end(), vn_count_, 0);
+  }
+  ++live_nodes_;
+  return index;
+}
+
+void UpdatableMergedTrie::release(trie::NodeIndex index) {
+  free_list_.push_back(index);
+  --live_nodes_;
+}
+
+trie::UpdateCost UpdatableMergedTrie::apply(net::VnId vn,
+                                            const net::RouteUpdate& update) {
+  VR_REQUIRE(vn < vn_count_, "VNID out of range");
+  switch (update.kind) {
+    case net::RouteUpdate::Kind::kAnnounce:
+      return do_announce(vn, update.route);
+    case net::RouteUpdate::Kind::kWithdraw:
+      return do_withdraw(vn, update.route.prefix);
+  }
+  return {};
+}
+
+trie::UpdateCost UpdatableMergedTrie::do_announce(net::VnId vn,
+                                                  const net::Route& route) {
+  VR_REQUIRE(route.next_hop != net::kNoRoute,
+             "announce requires a real next hop");
+  // If the route already exists with the same hop, no-op (keeps subtree
+  // counts exact).
+  trie::UpdateCost cost;
+  const std::uint64_t vbit = std::uint64_t{1} << vn;
+
+  // Walk/extend the path.
+  std::vector<trie::NodeIndex> path{0};
+  trie::NodeIndex current = 0;
+  for (unsigned depth = 0; depth < route.prefix.length(); ++depth) {
+    const bool go_right = route.prefix.bit(depth);
+    trie::NodeIndex child =
+        go_right ? nodes_[current].right : nodes_[current].left;
+    if (child == trie::kNullNode) {
+      child = allocate();
+      if (go_right) {
+        nodes_[current].right = child;
+      } else {
+        nodes_[current].left = child;
+      }
+      ++cost.nodes_created;
+      cost.words_written += 2;  // parent pointer word + fresh node word
+    }
+    current = child;
+    path.push_back(current);
+  }
+
+  net::NextHop& hop = hop_at(current, vn);
+  if (hop == route.next_hop) {
+    // Identical route: undo any (impossible) created nodes — path existed.
+    cost.max_depth_touched = route.prefix.length();
+    return cost;
+  }
+  const bool fresh_route = hop == net::kNoRoute;
+  hop = route.next_hop;
+  ++cost.words_written;  // the VN's NHI-vector entry
+  cost.max_depth_touched = route.prefix.length();
+  if (!fresh_route) return cost;
+
+  ++route_counts_[vn];
+  // Increment subtree counts along the path; 0->1 transitions add
+  // presence.
+  for (const trie::NodeIndex index : path) {
+    std::uint16_t& count = subtree_routes(index, vn);
+    VR_REQUIRE(count < 0xffff, "subtree route count overflow");
+    if (count++ == 0) {
+      if ((nodes_[index].presence & vbit) == 0) {
+        nodes_[index].presence |= vbit;
+        ++present_counts_[vn];
+      }
+    }
+  }
+  return cost;
+}
+
+trie::UpdateCost UpdatableMergedTrie::do_withdraw(net::VnId vn,
+                                                  const net::Prefix& prefix) {
+  trie::UpdateCost cost;
+  const std::uint64_t vbit = std::uint64_t{1} << vn;
+  std::vector<trie::NodeIndex> path{0};
+  trie::NodeIndex current = 0;
+  for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+    const Node& node = nodes_[current];
+    const trie::NodeIndex child =
+        prefix.bit(depth) ? node.right : node.left;
+    if (child == trie::kNullNode) return cost;  // not present
+    current = child;
+    path.push_back(current);
+  }
+  net::NextHop& hop = hop_at(current, vn);
+  if (hop == net::kNoRoute) return cost;  // VN has no such route
+  hop = net::kNoRoute;
+  --route_counts_[vn];
+  ++cost.words_written;
+  cost.max_depth_touched = prefix.length();
+
+  // Decrement subtree counts; 1->0 transitions drop presence.
+  for (const trie::NodeIndex index : path) {
+    std::uint16_t& count = subtree_routes(index, vn);
+    VR_REQUIRE(count > 0, "subtree route count underflow");
+    if (--count == 0 && index != 0) {
+      nodes_[index].presence &= ~vbit;
+      --present_counts_[vn];
+    }
+  }
+
+  // Prune nodes no VN needs anymore, bottom-up along the path (the root
+  // always stays).
+  for (std::size_t i = path.size(); i-- > 1;) {
+    const trie::NodeIndex index = path[i];
+    const Node& node = nodes_[index];
+    if (!node.is_leaf() || node.presence != 0) break;
+    const trie::NodeIndex parent = path[i - 1];
+    if (nodes_[parent].left == index) {
+      nodes_[parent].left = trie::kNullNode;
+    } else {
+      nodes_[parent].right = trie::kNullNode;
+    }
+    release(index);
+    ++cost.nodes_removed;
+    ++cost.words_written;
+  }
+  return cost;
+}
+
+std::optional<net::NextHop> UpdatableMergedTrie::lookup(net::Ipv4 addr,
+                                                        net::VnId vn) const {
+  VR_REQUIRE(vn < vn_count_, "VNID out of range");
+  std::optional<net::NextHop> best;
+  trie::NodeIndex current = 0;
+  for (unsigned depth = 0;; ++depth) {
+    const net::NextHop hop = hop_at(current, vn);
+    if (hop != net::kNoRoute) best = hop;
+    if (depth >= 32) break;
+    const Node& node = nodes_[current];
+    const trie::NodeIndex child =
+        bit_at(addr.value(), depth) ? node.right : node.left;
+    if (child == trie::kNullNode) break;
+    current = child;
+  }
+  return best;
+}
+
+std::size_t UpdatableMergedTrie::present_count(net::VnId vn) const {
+  VR_REQUIRE(vn < vn_count_, "VNID out of range");
+  return present_counts_[vn];
+}
+
+double UpdatableMergedTrie::alpha_effective() const {
+  if (vn_count_ <= 1) return 1.0;
+  double sum = 0.0;
+  for (const std::size_t count : present_counts_) {
+    sum += static_cast<double>(count);
+  }
+  const double t = static_cast<double>(live_nodes_);
+  const double alpha = (sum / t - 1.0) / static_cast<double>(vn_count_ - 1);
+  return std::clamp(alpha, 0.0, 1.0);
+}
+
+net::RoutingTable UpdatableMergedTrie::table_of(net::VnId vn) const {
+  VR_REQUIRE(vn < vn_count_, "VNID out of range");
+  std::vector<net::Route> routes;
+  struct Frame {
+    trie::NodeIndex node;
+    std::uint32_t bits;
+    unsigned depth;
+  };
+  std::vector<Frame> stack{{0, 0, 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const net::NextHop hop = hop_at(frame.node, vn);
+    if (hop != net::kNoRoute) {
+      routes.push_back(net::Route{
+          net::Prefix(net::Ipv4(frame.bits), frame.depth), hop});
+    }
+    if (frame.depth < 32) {
+      const Node& node = nodes_[frame.node];
+      if (node.left != trie::kNullNode) {
+        stack.push_back(Frame{node.left, frame.bits, frame.depth + 1});
+      }
+      if (node.right != trie::kNullNode) {
+        stack.push_back(Frame{
+            node.right,
+            frame.bits | (std::uint32_t{1} << (31u - frame.depth)),
+            frame.depth + 1});
+      }
+    }
+  }
+  return net::RoutingTable(std::move(routes));
+}
+
+}  // namespace vr::virt

@@ -1,0 +1,106 @@
+// Incrementally updatable K-way merged trie — the "on-the-fly incremental
+// updates for virtualized routers" direction of the paper's reference [6].
+//
+// Unlike virt::MergedTrie (an immutable deployment image), this structure
+// applies per-VN announce/withdraw updates in place, maintaining for every
+// node the exact set of virtual networks whose own trie contains it (via
+// per-VN subtree route counts). That keeps the structural
+// merging-efficiency α measurable at any point of an update stream, and
+// yields the per-update write cost that the update-rate power model
+// consumes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/route_update.hpp"
+#include "netbase/routing_table.hpp"
+#include "netbase/traffic.hpp"
+#include "trie/unibit_trie.hpp"
+#include "trie/updatable_trie.hpp"
+
+namespace vr::virt {
+
+class UpdatableMergedTrie {
+ public:
+  /// Builds the merged trie of `tables` (one per VN). K in [1, 64].
+  explicit UpdatableMergedTrie(
+      std::span<const net::RoutingTable* const> tables);
+
+  /// Applies one update on behalf of virtual network `vn`; returns the
+  /// write cost (leaf-vector entry writes count one word each).
+  trie::UpdateCost apply(net::VnId vn, const net::RouteUpdate& update);
+
+  trie::UpdateCost announce(net::VnId vn, const net::Route& route) {
+    return apply(vn, {net::RouteUpdate::Kind::kAnnounce, route});
+  }
+  trie::UpdateCost withdraw(net::VnId vn, const net::Prefix& prefix) {
+    return apply(vn,
+                 {net::RouteUpdate::Kind::kWithdraw, {prefix, net::kNoRoute}});
+  }
+
+  /// Longest-prefix match for `vn`.
+  [[nodiscard]] std::optional<net::NextHop> lookup(net::Ipv4 addr,
+                                                   net::VnId vn) const;
+
+  [[nodiscard]] std::size_t vn_count() const noexcept { return vn_count_; }
+  /// Live merged node count.
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return live_nodes_;
+  }
+  /// Nodes present in virtual network `vn`'s own trie.
+  [[nodiscard]] std::size_t present_count(net::VnId vn) const;
+  /// Installed route count of `vn`.
+  [[nodiscard]] std::size_t route_count(net::VnId vn) const {
+    return route_counts_.at(vn);
+  }
+
+  /// Current effective merging efficiency (same definition as
+  /// MergeStats::alpha_effective).
+  [[nodiscard]] double alpha_effective() const;
+
+  /// Exports VN `vn`'s current routes.
+  [[nodiscard]] net::RoutingTable table_of(net::VnId vn) const;
+
+ private:
+  struct Node {
+    trie::NodeIndex left = trie::kNullNode;
+    trie::NodeIndex right = trie::kNullNode;
+    std::uint64_t presence = 0;  ///< bit v: node is in VN v's trie
+
+    [[nodiscard]] bool is_leaf() const noexcept {
+      return left == trie::kNullNode && right == trie::kNullNode;
+    }
+  };
+
+  [[nodiscard]] net::NextHop& hop_at(trie::NodeIndex node, net::VnId vn) {
+    return next_hops_[static_cast<std::size_t>(node) * vn_count_ + vn];
+  }
+  [[nodiscard]] net::NextHop hop_at(trie::NodeIndex node,
+                                    net::VnId vn) const {
+    return next_hops_[static_cast<std::size_t>(node) * vn_count_ + vn];
+  }
+  [[nodiscard]] std::uint16_t& subtree_routes(trie::NodeIndex node,
+                                              net::VnId vn) {
+    return subtree_routes_[static_cast<std::size_t>(node) * vn_count_ + vn];
+  }
+
+  trie::NodeIndex allocate();
+  void release(trie::NodeIndex index);
+
+  trie::UpdateCost do_announce(net::VnId vn, const net::Route& route);
+  trie::UpdateCost do_withdraw(net::VnId vn, const net::Prefix& prefix);
+
+  std::size_t vn_count_;
+  std::vector<Node> nodes_;
+  std::vector<net::NextHop> next_hops_;       // node-major, K per node
+  std::vector<std::uint16_t> subtree_routes_; // node-major, K per node
+  std::vector<trie::NodeIndex> free_list_;
+  std::vector<std::size_t> route_counts_;
+  std::vector<std::size_t> present_counts_;
+  std::size_t live_nodes_ = 0;
+};
+
+}  // namespace vr::virt

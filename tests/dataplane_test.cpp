@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "dataplane/full_router.hpp"
+#include "netbase/packet.hpp"
+#include "netbase/table_gen.hpp"
+#include "trie/unibit_trie.hpp"
+
+namespace vr::dataplane {
+namespace {
+
+using net::Ipv4;
+using net::Ipv4Header;
+using net::RoutingTable;
+
+// ----------------------------------------------------------------- packet --
+
+TEST(Ipv4HeaderTest, SerializeParseRoundTrip) {
+  Ipv4Header header;
+  header.dscp = 0x28;
+  header.total_length = 60;
+  header.identification = 0xbeef;
+  header.ttl = 17;
+  header.protocol = 6;
+  header.source = Ipv4(192, 0, 2, 1);
+  header.destination = Ipv4(198, 51, 100, 7);
+  header.checksum = header.compute_checksum();
+  const auto bytes = header.serialize();
+  const auto parsed = Ipv4Header::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dscp, header.dscp);
+  EXPECT_EQ(parsed->total_length, header.total_length);
+  EXPECT_EQ(parsed->identification, header.identification);
+  EXPECT_EQ(parsed->ttl, header.ttl);
+  EXPECT_EQ(parsed->protocol, header.protocol);
+  EXPECT_EQ(parsed->source, header.source);
+  EXPECT_EQ(parsed->destination, header.destination);
+  EXPECT_TRUE(parsed->verify_checksum());
+}
+
+TEST(Ipv4HeaderTest, KnownChecksumVector) {
+  // Classic worked example (en.wikipedia.org/wiki/IPv4_header_checksum):
+  // 45 00 00 73 00 00 40 00 40 11 <sum> c0 a8 00 01 c0 a8 00 c7
+  // has header checksum 0xb861.
+  const std::uint8_t raw[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40,
+                              0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+                              0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  EXPECT_EQ(net::internet_checksum(raw), 0xb861);
+}
+
+TEST(Ipv4HeaderTest, ChecksumDetectsCorruption) {
+  Ipv4Header header;
+  header.source = Ipv4(10, 0, 0, 1);
+  header.destination = Ipv4(10, 0, 0, 2);
+  header.checksum = header.compute_checksum();
+  EXPECT_TRUE(header.verify_checksum());
+  header.ttl ^= 0x01;
+  EXPECT_FALSE(header.verify_checksum());
+}
+
+TEST(Ipv4HeaderTest, ParseRejectsBadInput) {
+  std::array<std::uint8_t, 20> bytes{};
+  bytes[0] = 0x46;  // IHL 6: options unsupported
+  EXPECT_FALSE(Ipv4Header::parse(bytes).has_value());
+  bytes[0] = 0x45;
+  EXPECT_FALSE(
+      Ipv4Header::parse(std::span(bytes).first(19)).has_value());
+  // total_length below the header size is invalid.
+  bytes[2] = 0;
+  bytes[3] = 10;
+  EXPECT_FALSE(Ipv4Header::parse(bytes).has_value());
+}
+
+TEST(Ipv4HeaderTest, IncrementalTtlChecksumMatchesFullRecompute) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    Ipv4Header header;
+    header.dscp = static_cast<std::uint8_t>(rng.next_below(64) << 2);
+    header.total_length =
+        static_cast<std::uint16_t>(20 + rng.next_below(1480));
+    header.identification = static_cast<std::uint16_t>(rng.next_u64());
+    header.ttl = static_cast<std::uint8_t>(rng.next_in(1, 255));
+    header.protocol = static_cast<std::uint8_t>(rng.next_below(256));
+    header.source = Ipv4(static_cast<std::uint32_t>(rng.next_u64()));
+    header.destination = Ipv4(static_cast<std::uint32_t>(rng.next_u64()));
+    header.checksum = header.compute_checksum();
+    ASSERT_TRUE(header.decrement_ttl());
+    EXPECT_EQ(header.checksum, header.compute_checksum())
+        << "ttl now " << int{header.ttl};
+  }
+}
+
+TEST(Ipv4HeaderTest, DecrementAtZeroRefuses) {
+  Ipv4Header header;
+  header.ttl = 0;
+  EXPECT_FALSE(header.decrement_ttl());
+  EXPECT_EQ(header.ttl, 0);
+}
+
+// ----------------------------------------------------------------- parser --
+
+TEST(ParserTest, AcceptsValidFrames) {
+  Parser parser;
+  Ipv4Header header;
+  header.ttl = 10;
+  header.source = Ipv4(10, 0, 0, 1);
+  header.destination = Ipv4(10, 0, 0, 2);
+  header.checksum = header.compute_checksum();
+  const auto parsed = parser.accept(2, header, 40);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->vnid, 2);
+  EXPECT_EQ(parser.stats().accepted, 1u);
+}
+
+TEST(ParserTest, DropsBadChecksum) {
+  Parser parser;
+  Ipv4Header header;
+  header.ttl = 10;
+  header.checksum = static_cast<std::uint16_t>(
+      header.compute_checksum() ^ 0x1);
+  EXPECT_FALSE(parser.accept(0, header, 20).has_value());
+  EXPECT_EQ(parser.stats().bad_checksum, 1u);
+}
+
+TEST(ParserTest, DropsExpiringTtl) {
+  Parser parser;
+  for (const std::uint8_t ttl : {std::uint8_t{0}, std::uint8_t{1}}) {
+    Ipv4Header header;
+    header.ttl = ttl;
+    header.checksum = header.compute_checksum();
+    EXPECT_FALSE(parser.accept(0, header, 20).has_value());
+  }
+  EXPECT_EQ(parser.stats().ttl_expired, 2u);
+}
+
+TEST(ParserTest, ParseFromBytes) {
+  Parser parser;
+  Ipv4Header header;
+  header.ttl = 33;
+  header.total_length = 60;
+  const auto bytes = header.serialize_with_checksum();
+  const auto parsed = parser.parse(1, bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload_bytes, 40);
+  // Truncated buffer -> malformed.
+  EXPECT_FALSE(parser.parse(1, std::span(bytes).first(8)).has_value());
+  EXPECT_EQ(parser.stats().malformed, 1u);
+}
+
+// ----------------------------------------------------------------- editor --
+
+TEST(EditorTest, ForwardsAndRewrites) {
+  Editor editor;
+  ParsedPacket packet;
+  packet.vnid = 1;
+  packet.header.ttl = 9;
+  packet.header.checksum = packet.header.compute_checksum();
+  const auto forwarded = editor.edit(packet, net::NextHop{5});
+  ASSERT_TRUE(forwarded.has_value());
+  EXPECT_EQ(forwarded->port, 5);
+  EXPECT_EQ(forwarded->header.ttl, 8);
+  EXPECT_TRUE(forwarded->header.verify_checksum());
+  EXPECT_EQ(editor.stats().forwarded, 1u);
+}
+
+TEST(EditorTest, DropsNoRoute) {
+  Editor editor;
+  ParsedPacket packet;
+  packet.header.ttl = 9;
+  EXPECT_FALSE(editor.edit(packet, std::nullopt).has_value());
+  EXPECT_EQ(editor.stats().no_route, 1u);
+}
+
+// -------------------------------------------------------------- scheduler --
+
+SchedulerConfig two_vn_config() {
+  SchedulerConfig config;
+  config.port_count = 1;
+  config.vn_count = 2;
+  config.bytes_per_cycle = 40.0;
+  return config;
+}
+
+ForwardedPacket make_packet(net::VnId vn, std::uint16_t payload,
+                            net::NextHop port = 0) {
+  ForwardedPacket packet;
+  packet.vnid = vn;
+  packet.port = port;
+  packet.payload_bytes = payload;
+  return packet;
+}
+
+TEST(SchedulerTest, TransmitsWithinLinkRate) {
+  DrrScheduler scheduler(two_vn_config());
+  std::vector<EgressRecord> egress;
+  for (int i = 0; i < 50; ++i) {
+    scheduler.enqueue(make_packet(0, 20), 0);  // 40 B frames
+  }
+  for (std::uint64_t c = 0; c < 25; ++c) scheduler.tick(c, &egress);
+  // 40 B/cycle link, 40 B packets: one per cycle (+1 from initial credit).
+  EXPECT_LE(egress.size(), 27u);
+  EXPECT_GE(egress.size(), 24u);
+}
+
+TEST(SchedulerTest, EqualWeightsShareTheLink) {
+  DrrScheduler scheduler(two_vn_config());
+  std::vector<EgressRecord> egress;
+  for (std::uint64_t c = 0; c < 4000; ++c) {
+    // Keep both VN queues backlogged.
+    scheduler.enqueue(make_packet(0, 20), c);
+    scheduler.enqueue(make_packet(1, 20), c);
+    scheduler.tick(c, &egress);
+  }
+  const auto& stats = scheduler.stats();
+  const double total = static_cast<double>(stats.bytes_per_vn[0] +
+                                           stats.bytes_per_vn[1]);
+  EXPECT_NEAR(static_cast<double>(stats.bytes_per_vn[0]) / total, 0.5,
+              0.05);
+}
+
+TEST(SchedulerTest, WeightsSkewTheShare) {
+  SchedulerConfig config = two_vn_config();
+  config.vn_weights = {3.0, 1.0};
+  config.queue_capacity = 256;
+  DrrScheduler scheduler(config);
+  std::vector<EgressRecord> egress;
+  for (std::uint64_t c = 0; c < 6000; ++c) {
+    scheduler.enqueue(make_packet(0, 20), c);
+    scheduler.enqueue(make_packet(1, 20), c);
+    scheduler.tick(c, &egress);
+  }
+  const auto& stats = scheduler.stats();
+  const double total = static_cast<double>(stats.bytes_per_vn[0] +
+                                           stats.bytes_per_vn[1]);
+  EXPECT_NEAR(static_cast<double>(stats.bytes_per_vn[0]) / total, 0.75,
+              0.06);
+}
+
+TEST(SchedulerTest, DrrIsByteFairAcrossPacketSizes) {
+  // VN0 sends large packets, VN1 small ones; DRR equalizes BYTES, not
+  // packet counts.
+  SchedulerConfig config = two_vn_config();
+  config.queue_capacity = 512;
+  DrrScheduler scheduler(config);
+  std::vector<EgressRecord> egress;
+  for (std::uint64_t c = 0; c < 8000; ++c) {
+    scheduler.enqueue(make_packet(0, 1480), c);
+    scheduler.enqueue(make_packet(1, 20), c);
+    scheduler.enqueue(make_packet(1, 20), c);
+    scheduler.tick(c, &egress);
+  }
+  const auto& stats = scheduler.stats();
+  const double ratio = static_cast<double>(stats.bytes_per_vn[0]) /
+                       static_cast<double>(stats.bytes_per_vn[1]);
+  EXPECT_NEAR(ratio, 1.0, 0.15);
+}
+
+TEST(SchedulerTest, TailDropsWhenFull) {
+  SchedulerConfig config = two_vn_config();
+  config.queue_capacity = 4;
+  DrrScheduler scheduler(config);
+  for (int i = 0; i < 10; ++i) {
+    scheduler.enqueue(make_packet(0, 20), 0);
+  }
+  EXPECT_EQ(scheduler.stats().tail_drops, 6u);
+  EXPECT_EQ(scheduler.queue_depth(0, 0), 4u);
+}
+
+TEST(SchedulerTest, PacketsRouteToTheirPort) {
+  SchedulerConfig config;
+  config.port_count = 4;
+  config.vn_count = 1;
+  DrrScheduler scheduler(config);
+  std::vector<EgressRecord> egress;
+  scheduler.enqueue(make_packet(0, 20, 2), 0);
+  scheduler.tick(0, &egress);
+  ASSERT_EQ(egress.size(), 1u);
+  EXPECT_EQ(egress[0].port, 2);
+}
+
+// ------------------------------------------------------------- frame gen --
+
+class FrameGenFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net::TableProfile profile;
+    profile.prefix_count = 200;
+    const net::SyntheticTableGenerator gen(profile);
+    for (std::uint64_t v = 0; v < 3; ++v) {
+      tables_.push_back(gen.generate(30 + v));
+    }
+    for (const auto& t : tables_) ptrs_.push_back(&t);
+  }
+  std::vector<RoutingTable> tables_;
+  std::vector<const RoutingTable*> ptrs_;
+};
+
+TEST_F(FrameGenFixture, ValidFramesHaveGoodChecksums) {
+  FrameGenConfig config;
+  config.traffic.cycles = 3000;
+  const FrameGenerator gen(config, ptrs_);
+  for (const IngressFrame& frame : gen.generate(1)) {
+    EXPECT_TRUE(frame.header.verify_checksum());
+    EXPECT_GE(frame.header.ttl, 2);
+    EXPECT_TRUE(
+        tables_[frame.vnid].lookup(frame.header.destination).has_value());
+  }
+}
+
+TEST_F(FrameGenFixture, CorruptFractionProducesBadChecksums) {
+  FrameGenConfig config;
+  config.traffic.cycles = 6000;
+  config.corrupt_fraction = 0.2;
+  const FrameGenerator gen(config, ptrs_);
+  const auto frames = gen.generate(2);
+  std::size_t bad = 0;
+  for (const IngressFrame& frame : frames) {
+    if (!frame.header.verify_checksum()) ++bad;
+  }
+  EXPECT_NEAR(static_cast<double>(bad) / static_cast<double>(frames.size()),
+              0.2, 0.03);
+}
+
+// ------------------------------------------------------------ full router --
+
+class FullRouterFixture : public FrameGenFixture {
+ protected:
+  void SetUp() override {
+    FrameGenFixture::SetUp();
+    for (const auto& t : tables_) {
+      tries_.emplace_back(trie::UnibitTrie(t).leaf_pushed());
+    }
+    for (const auto& t : tries_) {
+      views_.emplace_back(t);
+      trie_ptrs_.push_back(&t);
+    }
+  }
+
+  FullRouterConfig router_config() const {
+    FullRouterConfig config;
+    config.scheduler.vn_count = 3;
+    config.scheduler.port_count = 16;
+    config.scheduler.queue_capacity = 256;
+    return config;
+  }
+
+  std::vector<trie::UnibitTrie> tries_;
+  std::vector<pipeline::TrieView> views_;
+  std::vector<const trie::UnibitTrie*> trie_ptrs_;
+};
+
+TEST_F(FullRouterFixture, ConservesPackets) {
+  FrameGenConfig config;
+  config.traffic.cycles = 5000;
+  config.traffic.load = 0.5;
+  config.corrupt_fraction = 0.05;
+  config.expiring_ttl_fraction = 0.05;
+  const FrameGenerator gen(config, ptrs_);
+  const auto frames = gen.generate(3);
+
+  pipeline::SeparateRouter lookup(views_, 28);
+  const FullRouterResult result =
+      run_full_router(lookup, frames, router_config());
+
+  // Every frame is accounted for: parser drops + editor drops + scheduler
+  // drops + transmitted == offered.
+  EXPECT_EQ(result.parser.accepted + result.parser.dropped(), frames.size());
+  EXPECT_EQ(result.editor.forwarded + result.editor.no_route +
+                result.editor.ttl_expired,
+            result.parser.accepted);
+  EXPECT_EQ(result.scheduler.transmitted + result.scheduler.tail_drops,
+            result.editor.forwarded);
+  EXPECT_GT(result.parser.dropped(), 0u);      // corruption present
+  EXPECT_EQ(result.editor.no_route, 0u);       // all lookups hit
+  EXPECT_EQ(result.egress.size(), result.scheduler.transmitted);
+}
+
+TEST_F(FullRouterFixture, EgressTtlDecrementedAndChecksumsValid) {
+  FrameGenConfig config;
+  config.traffic.cycles = 1500;
+  const FrameGenerator gen(config, ptrs_);
+  pipeline::SeparateRouter lookup(views_, 28);
+  const FullRouterResult result =
+      run_full_router(lookup, gen.generate(4), router_config());
+  EXPECT_GT(result.egress.size(), 0u);
+}
+
+TEST_F(FullRouterFixture, MergedAndSeparateForwardTheSameTraffic) {
+  FrameGenConfig config;
+  config.traffic.cycles = 4000;
+  config.traffic.load = 0.6;
+  const FrameGenerator gen(config, ptrs_);
+  const auto frames = gen.generate(5);
+
+  pipeline::SeparateRouter separate(views_, 28);
+  const FullRouterResult separate_result =
+      run_full_router(separate, frames, router_config());
+
+  const virt::MergedTrie merged{
+      std::span<const trie::UnibitTrie* const>(trie_ptrs_)};
+  pipeline::MergedRouter merged_lookup(merged, 28);
+  const FullRouterResult merged_result =
+      run_full_router(merged_lookup, frames, router_config());
+
+  // Transparency: both data planes transmit the same per-VN byte volumes.
+  EXPECT_EQ(separate_result.scheduler.bytes_per_vn,
+            merged_result.scheduler.bytes_per_vn);
+  EXPECT_EQ(separate_result.scheduler.transmitted,
+            merged_result.scheduler.transmitted);
+}
+
+TEST_F(FullRouterFixture, QosSharesFollowTrafficShares) {
+  FrameGenConfig config;
+  config.traffic.cycles = 20000;
+  config.traffic.load = 0.6;
+  config.traffic.vn_weights = {2.0, 1.0, 1.0};
+  const FrameGenerator gen(config, ptrs_);
+  pipeline::SeparateRouter lookup(views_, 28);
+  const FullRouterResult result =
+      run_full_router(lookup, gen.generate(6), router_config());
+  const auto shares = result.goodput_shares();
+  EXPECT_NEAR(shares[0], 0.5, 0.05);
+  EXPECT_NEAR(shares[1], 0.25, 0.04);
+}
+
+}  // namespace
+}  // namespace vr::dataplane

@@ -1,0 +1,108 @@
+// Tests of the Assumption 2 relaxation (per-VN table-size spread).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/validator.hpp"
+#include "core/workload.hpp"
+
+namespace vr::core {
+namespace {
+
+Scenario spread_scenario(double spread, std::size_t k = 6) {
+  Scenario s;
+  s.scheme = power::Scheme::kSeparate;
+  s.vn_count = k;
+  s.table_size_spread = spread;
+  s.table_profile.prefix_count = 800;
+  return s;
+}
+
+std::uint64_t engine_bits(const power::EngineSpec& engine) {
+  return std::accumulate(engine.stage_bits.begin(), engine.stage_bits.end(),
+                         std::uint64_t{0});
+}
+
+TEST(HeterogeneousWorkloadTest, ZeroSpreadKeepsHomogeneousEngines) {
+  const Workload w = realize_workload(spread_scenario(0.0));
+  EXPECT_TRUE(w.heterogeneous_engines.empty());
+}
+
+TEST(HeterogeneousWorkloadTest, SpreadBuildsOneEnginePerVn) {
+  const Workload w = realize_workload(spread_scenario(0.5));
+  ASSERT_EQ(w.heterogeneous_engines.size(), 6u);
+  for (const auto& engine : w.heterogeneous_engines) {
+    EXPECT_EQ(engine.stage_count(), 28u);
+    EXPECT_GT(engine_bits(engine), 0u);
+  }
+}
+
+TEST(HeterogeneousWorkloadTest, EngineSizesActuallySpread) {
+  const Workload w = realize_workload(spread_scenario(0.8));
+  std::uint64_t smallest = engine_bits(w.heterogeneous_engines.front());
+  std::uint64_t largest = smallest;
+  for (const auto& engine : w.heterogeneous_engines) {
+    smallest = std::min(smallest, engine_bits(engine));
+    largest = std::max(largest, engine_bits(engine));
+  }
+  // spread 0.8 => size ratio ~ 1.8^2 = 3.24 between extremes; trie
+  // structure compresses it somewhat but it must be clearly > 2.
+  EXPECT_GT(static_cast<double>(largest) / static_cast<double>(smallest),
+            2.0);
+}
+
+TEST(HeterogeneousWorkloadTest, MergedSchemeIgnoresSpread) {
+  Scenario s = spread_scenario(0.5);
+  s.scheme = power::Scheme::kMerged;
+  const Workload w = realize_workload(s);
+  EXPECT_TRUE(w.heterogeneous_engines.empty());
+  EXPECT_FALSE(w.merged_engine.stage_bits.empty());
+}
+
+TEST(HeterogeneousWorkloadTest, RejectsExcessiveSpread) {
+  EXPECT_DEATH((void)realize_workload(spread_scenario(0.95)),
+               "table_size_spread");
+}
+
+class HeterogeneousEstimateTest : public ::testing::Test {
+ protected:
+  ModelValidator validator_{fpga::DeviceSpec::xc6vlx760()};
+};
+
+TEST_F(HeterogeneousEstimateTest, PowerChangesOnlyMildlyWithSpread) {
+  // The geometric-mean-preserving spread keeps the aggregate table
+  // volume, so total power moves by far less than the size extremes.
+  const double base =
+      validator_.estimator().estimate(spread_scenario(0.0)).power.total_w();
+  const double spread =
+      validator_.estimator().estimate(spread_scenario(0.8)).power.total_w();
+  EXPECT_NEAR(spread / base, 1.0, 0.05);
+}
+
+TEST_F(HeterogeneousEstimateTest, ErrorBoundHoldsUnderSpread) {
+  for (const double spread : {0.2, 0.5, 0.8}) {
+    for (const auto scheme :
+         {power::Scheme::kNonVirtualized, power::Scheme::kSeparate}) {
+      Scenario s = spread_scenario(spread, 8);
+      s.scheme = scheme;
+      const ValidationPoint point = validator_.validate(s);
+      EXPECT_LE(std::fabs(point.error_total_pct), 3.0)
+          << power::to_string(scheme) << " spread " << spread;
+    }
+  }
+}
+
+TEST_F(HeterogeneousEstimateTest, NvDevicesDifferUnderSpread) {
+  // With per-VN engines, the NV fleet's devices have different dynamic
+  // power; the model and experiment must agree on the aggregation.
+  Scenario s = spread_scenario(0.8, 4);
+  s.scheme = power::Scheme::kNonVirtualized;
+  const Workload w = realize_workload(s);
+  const ExperimentResult exp = validator_.runner().run(s, w);
+  EXPECT_EQ(exp.power.devices, 4u);
+  EXPECT_GT(exp.power.total_w(), 4 * 4.0);
+}
+
+}  // namespace
+}  // namespace vr::core

@@ -1,0 +1,210 @@
+// End-to-end shape tests: run every figure builder and assert the
+// qualitative structure of the paper's results (who wins, what grows,
+// where the error stays bounded) — the reproduction contract listed in
+// DESIGN.md Sec. 6.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/figures.hpp"
+
+namespace vr::core {
+namespace {
+
+class FigureShapes : public ::testing::Test {
+ protected:
+  static FigureOptions options() {
+    FigureOptions opt;
+    // A lighter table keeps the full-sweep test fast; the shapes are
+    // size-independent (the bench binaries run the paper-sized table).
+    opt.table_profile.prefix_count = 1200;
+    return opt;
+  }
+
+  FigureBuilder builder_{fpga::DeviceSpec::xc6vlx760(), options()};
+};
+
+TEST_F(FigureShapes, Fig2BramPowerShape) {
+  const SeriesTable fig = builder_.fig2_bram_power();
+  ASSERT_EQ(fig.point_count(), 9u);  // 100..500 step 50
+  const auto k18m2 = fig.series(0);
+  const auto k36m2 = fig.series(1);
+  const auto k18m1l = fig.series(2);
+  const auto k36m1l = fig.series(3);
+  for (std::size_t i = 0; i < fig.point_count(); ++i) {
+    // 36 Kb blocks burn more than 18 Kb; -1L less than -2 (Fig. 2).
+    EXPECT_GT(k36m2[i], k18m2[i]);
+    EXPECT_LT(k18m1l[i], k18m2[i]);
+    EXPECT_LT(k36m1l[i], k36m2[i]);
+    if (i > 0) {
+      EXPECT_GT(k18m2[i], k18m2[i - 1]);  // monotone in frequency
+    }
+  }
+  // Linearity: value at 500 MHz = 5x value at 100 MHz.
+  EXPECT_NEAR(k36m2.back() / k36m2.front(), 5.0, 1e-9);
+  // Absolute anchor: 36Kb(-2) at 500 MHz = 24.6 µW/MHz * 500 = 12.3 mW.
+  EXPECT_NEAR(k36m2.back(), 12.3, 1e-9);
+}
+
+TEST_F(FigureShapes, Fig3LogicPowerShape) {
+  const SeriesTable fig = builder_.fig3_logic_power();
+  const auto m2 = fig.series(0);
+  const auto m1l = fig.series(1);
+  for (std::size_t i = 0; i < fig.point_count(); ++i) {
+    EXPECT_LT(m1l[i], m2[i]);
+  }
+  // Anchor: 5.18 µW/MHz * 500 MHz = 2.59 mW (Fig. 3 tops out ~2.5 mW).
+  EXPECT_NEAR(m2.back(), 2.59, 1e-9);
+  EXPECT_NEAR(m1l.back(), 1.9685, 1e-9);
+}
+
+TEST_F(FigureShapes, Fig4MemoryShape) {
+  const FigureBuilder::Fig4 fig = builder_.fig4_memory();
+  const auto ptr_vm80 = fig.pointer_memory.series(0);
+  const auto ptr_vm20 = fig.pointer_memory.series(1);
+  const auto ptr_vs = fig.pointer_memory.series(2);
+  const auto nhi_vm80 = fig.nhi_memory.series(0);
+  const auto nhi_vm20 = fig.nhi_memory.series(1);
+  const auto nhi_vs = fig.nhi_memory.series(2);
+  ASSERT_EQ(ptr_vs.size(), 30u);
+  for (std::size_t i = 1; i < ptr_vs.size(); ++i) {
+    // Pointer memory: high overlap saves most; separate is worst and
+    // exactly linear (Fig. 4 left).
+    EXPECT_LT(ptr_vm80[i], ptr_vm20[i]);
+    EXPECT_LT(ptr_vm20[i], ptr_vs[i]);
+    // NHI memory: merged vector leaves exceed separate (Fig. 4 right).
+    EXPECT_GT(nhi_vm20[i], nhi_vs[i]);
+    EXPECT_GT(nhi_vm20[i], nhi_vm80[i] * 0.999);
+    EXPECT_GE(nhi_vm80[i], nhi_vs[i] * 0.999);
+  }
+  // Separate grows exactly linearly with K.
+  EXPECT_NEAR(ptr_vs[29] / ptr_vs[0], 30.0, 1e-6);
+  // α=80 % pointer memory saturates: "pointer saving becomes less and less
+  // effective as the number of virtual routers increase" — the K=30 value
+  // stays far below separate.
+  EXPECT_LT(ptr_vm80[29], 0.2 * ptr_vs[29]);
+}
+
+TEST_F(FigureShapes, Fig5TotalPowerShape) {
+  const SeriesTable fig =
+      builder_.fig5_total_power(fpga::SpeedGrade::kMinus2);
+  const auto nv_model = fig.series(0);
+  const auto nv_exp = fig.series(1);
+  const auto vs_model = fig.series(2);
+  const auto vm20_model = fig.series(6);
+  ASSERT_EQ(fig.point_count(), 15u);
+  // NV grows linearly at ~4.5 W per added network (Fig. 5).
+  const double slope = (nv_model[14] - nv_model[0]) / 14.0;
+  EXPECT_NEAR(slope, 4.5, 0.25);
+  // Virtualized schemes sit near one device's power for every K.
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_LT(vs_model[i], 6.0);
+    EXPECT_LT(vm20_model[i], 7.5);
+    EXPECT_NEAR(nv_exp[i] / nv_model[i], 1.0, 0.03);
+  }
+  // At K = 15 the savings are ~proportional to K.
+  EXPECT_GT(nv_model[14] / vs_model[14], 10.0);
+}
+
+TEST_F(FigureShapes, Fig5MinusOneLThirtyPercentLower) {
+  const SeriesTable m2 = builder_.fig5_total_power(fpga::SpeedGrade::kMinus2);
+  const SeriesTable m1l =
+      builder_.fig5_total_power(fpga::SpeedGrade::kMinus1L);
+  const auto nv2 = m2.series(0);
+  const auto nv1l = m1l.series(0);
+  for (std::size_t i = 0; i < nv2.size(); ++i) {
+    EXPECT_NEAR(1.0 - nv1l[i] / nv2[i], 0.30, 0.05);
+  }
+}
+
+TEST_F(FigureShapes, Fig6VirtualizedExperimentalTrends) {
+  const SeriesTable fig =
+      builder_.fig6_virtualized_power(fpga::SpeedGrade::kMinus2);
+  const auto vs = fig.series(0);
+  const auto vm80 = fig.series(1);
+  const auto vm20 = fig.series(2);
+  // VS experimental decreases from K=1 to K=15 (tool optimizations).
+  EXPECT_LT(vs[14], vs[0]);
+  // Low-α merged overtakes VS as its memory balloons.
+  EXPECT_GT(vm20[14], vs[14]);
+  // All virtualized schemes stay within a ~1.5x band of one device.
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_GT(vs[i], 3.0);
+    EXPECT_LT(vm20[i], 7.0);
+    EXPECT_LT(vm80[i], vm20[i] + 0.2);
+  }
+}
+
+TEST_F(FigureShapes, Fig7ErrorWithinThreePercentEverywhere) {
+  for (const auto grade :
+       {fpga::SpeedGrade::kMinus2, fpga::SpeedGrade::kMinus1L}) {
+    const SeriesTable fig = builder_.fig7_model_error(grade);
+    for (std::size_t s = 0; s < 4; ++s) {
+      for (const double err : fig.series(s)) {
+        EXPECT_LE(std::fabs(err), 3.0)
+            << "grade " << fpga::to_string(grade) << " series " << s;
+      }
+    }
+  }
+}
+
+TEST_F(FigureShapes, Fig8EfficiencyOrdering) {
+  const SeriesTable fig = builder_.fig8_efficiency(fpga::SpeedGrade::kMinus2);
+  const auto nv = fig.series(0);
+  const auto vs = fig.series(1);
+  const auto vm80 = fig.series(2);
+  const auto vm20 = fig.series(3);
+  for (std::size_t i = 1; i < 15; ++i) {  // K >= 2
+    EXPECT_LT(vs[i], nv[i]);     // separate best (Sec. VI-B)
+    EXPECT_GT(vm80[i], nv[i]);   // merged worst
+    EXPECT_GE(vm20[i], vm80[i] * 0.98);  // low α no better than high α
+  }
+  // NV is ~flat; VM rises steeply with K (frequency loss + time sharing).
+  EXPECT_NEAR(nv[14] / nv[1], 1.0, 0.15);
+  // The rise steepens with table size (the paper-sized bench shows ~3x);
+  // this reduced table still rises markedly.
+  EXPECT_GT(vm20[14], 1.5 * vm20[1]);
+  // VS improves with K (static amortized over K engines' throughput).
+  EXPECT_LT(vs[14], vs[1]);
+}
+
+TEST_F(FigureShapes, Fig8GradesMatchInEfficiency) {
+  // Sec. VI-B: "the two speed grades perform almost the same way" in
+  // mW/Gbps.
+  const SeriesTable m2 = builder_.fig8_efficiency(fpga::SpeedGrade::kMinus2);
+  const SeriesTable m1l =
+      builder_.fig8_efficiency(fpga::SpeedGrade::kMinus1L);
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto a = m2.series(s);
+    const auto b = m1l.series(s);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(b[i] / a[i], 1.0, 0.12);
+    }
+  }
+}
+
+TEST_F(FigureShapes, TrieStatsTableRenders) {
+  const TextTable table = builder_.table_trie_stats();
+  EXPECT_GE(table.row_count(), 5u);
+}
+
+TEST(FigureStructural, StructuralModeReproducesAnalyticShapes) {
+  // Run a small structural-mode sweep (real correlated tables, real
+  // merges) and check the merged-memory ordering still holds.
+  FigureOptions opt;
+  opt.table_profile.prefix_count = 400;
+  opt.merged_source = MergedSource::kStructural;
+  const FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(), opt);
+  const PowerEstimator& estimator = builder.validator().estimator();
+  const Estimate hi = estimator.estimate(
+      builder.sweep_scenario(power::Scheme::kMerged, 4, 0.8,
+                             fpga::SpeedGrade::kMinus2));
+  const Estimate lo = estimator.estimate(
+      builder.sweep_scenario(power::Scheme::kMerged, 4, 0.2,
+                             fpga::SpeedGrade::kMinus2));
+  EXPECT_GT(lo.resources.pointer_bits, hi.resources.pointer_bits);
+  EXPECT_GT(hi.alpha_used, lo.alpha_used);
+}
+
+}  // namespace
+}  // namespace vr::core

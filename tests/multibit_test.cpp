@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "netbase/table_gen.hpp"
+#include "trie/multibit_trie.hpp"
+#include "trie/unibit_trie.hpp"
+
+namespace vr::trie {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+using net::RoutingTable;
+
+RoutingTable gen_table(std::uint64_t seed, std::size_t prefixes = 500) {
+  net::TableProfile profile;
+  profile.prefix_count = prefixes;
+  return net::SyntheticTableGenerator(profile).generate(seed);
+}
+
+TEST(MultibitTrieTest, RejectsBadStride) {
+  const RoutingTable table = gen_table(1, 50);
+  EXPECT_DEATH(MultibitTrie(table, 0), "stride");
+  EXPECT_DEATH(MultibitTrie(table, 3), "stride");
+  EXPECT_DEATH(MultibitTrie(table, 16), "stride");
+}
+
+TEST(MultibitTrieTest, HandCheckedStride2) {
+  RoutingTable table;
+  table.add(*Prefix::parse("0.0.0.0/1"), 1);    // expands to entries 00,01
+  table.add(*Prefix::parse("192.0.0.0/2"), 2);  // entry 11
+  const MultibitTrie trie(table, 2);
+  EXPECT_EQ(trie.node_count(), 1u);  // everything fits in the root
+  EXPECT_EQ(trie.lookup(Ipv4(0x00, 0, 0, 0)), 1);
+  EXPECT_EQ(trie.lookup(Ipv4(0x40, 0, 0, 0)), 1);
+  EXPECT_EQ(trie.lookup(Ipv4(0x80, 0, 0, 0)), std::nullopt);  // 10
+  EXPECT_EQ(trie.lookup(Ipv4(0xc0, 0, 0, 0)), 2);
+}
+
+TEST(MultibitTrieTest, ExpansionPrefersLongerPrefix) {
+  RoutingTable table;
+  table.add(*Prefix::parse("0.0.0.0/1"), 1);  // covers 00 and 01 at stride 2
+  table.add(*Prefix::parse("0.0.0.0/2"), 2);  // covers 00 exactly
+  const MultibitTrie trie(table, 2);
+  EXPECT_EQ(trie.lookup(Ipv4(0x00, 0, 0, 0)), 2);
+  EXPECT_EQ(trie.lookup(Ipv4(0x40, 0, 0, 0)), 1);
+}
+
+TEST(MultibitTrieTest, DefaultRouteCoversEverything) {
+  RoutingTable table;
+  table.add(*Prefix::parse("0.0.0.0/0"), 7);
+  table.add(*Prefix::parse("10.0.0.0/8"), 3);
+  const MultibitTrie trie(table, 4);
+  EXPECT_EQ(trie.lookup(Ipv4(10, 1, 1, 1)), 3);
+  EXPECT_EQ(trie.lookup(Ipv4(200, 1, 1, 1)), 7);
+}
+
+class MultibitLookupProperty
+    : public ::testing::TestWithParam<unsigned /*stride*/> {};
+
+TEST_P(MultibitLookupProperty, MatchesUnibitAndOracle) {
+  const RoutingTable table = gen_table(GetParam() + 10);
+  const MultibitTrie multibit(table, GetParam());
+  const UnibitTrie unibit(table);
+  Rng rng(GetParam());
+  for (int i = 0; i < 3000; ++i) {
+    const Ipv4 addr(static_cast<std::uint32_t>(rng.next_u64()));
+    const auto expected = unibit.lookup(addr);
+    EXPECT_EQ(multibit.lookup(addr), expected);
+    if (i % 10 == 0) {
+      EXPECT_EQ(multibit.lookup(addr), table.lookup(addr));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, MultibitLookupProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(MultibitTrieTest, LevelCountShrinksWithStride) {
+  const RoutingTable table = gen_table(20);
+  std::size_t prev = 64;
+  for (const unsigned stride : {1u, 2u, 4u, 8u}) {
+    const MultibitTrie trie(table, stride);
+    EXPECT_LT(trie.level_count(), prev);
+    EXPECT_LE(trie.level_count(), 32u / stride);
+    prev = trie.level_count();
+  }
+}
+
+TEST(MultibitTrieTest, MemoryGrowsWithStride) {
+  const RoutingTable table = gen_table(21);
+  std::uint64_t prev = 0;
+  for (const unsigned stride : {1u, 2u, 4u, 8u}) {
+    const MultibitTrie trie(table, stride);
+    const std::uint64_t bits = trie.memory_bits();
+    if (stride >= 4) {
+      EXPECT_GT(bits, prev);  // expansion dominates beyond stride 2
+    }
+    prev = bits;
+  }
+}
+
+TEST(MultibitTrieTest, LevelMemorySumsToTotal) {
+  const RoutingTable table = gen_table(22);
+  const MultibitTrie trie(table, 4);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t bits : trie.level_memory_bits()) sum += bits;
+  EXPECT_EQ(sum, trie.memory_bits());
+  std::size_t node_sum = 0;
+  for (const std::size_t n : trie.level_node_counts()) node_sum += n;
+  EXPECT_EQ(node_sum, trie.node_count());
+}
+
+TEST(MultibitTrieTest, Stride1MatchesUnibitNodeCount) {
+  // A stride-1 multibit trie without leaf pushing has one 2-entry node
+  // per INTERNAL unibit node (leaves collapse into their parents'
+  // entries).
+  RoutingTable table;
+  table.add(*Prefix::parse("10.0.0.0/8"), 1);
+  const MultibitTrie multibit(table, 1);
+  EXPECT_EQ(multibit.node_count(), 8u);  // internal chain of the /8 path
+}
+
+}  // namespace
+}  // namespace vr::trie

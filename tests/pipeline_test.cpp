@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "netbase/table_gen.hpp"
+#include "netbase/traffic.hpp"
+#include "pipeline/energy.hpp"
+#include "pipeline/lookup_engine.hpp"
+#include "pipeline/router.hpp"
+#include "trie/memory_layout.hpp"
+
+namespace vr::pipeline {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+using net::RoutingTable;
+using trie::UnibitTrie;
+
+constexpr std::size_t kStages = 28;
+
+RoutingTable gen_table(std::uint64_t seed, std::size_t prefixes = 400) {
+  net::TableProfile profile;
+  profile.prefix_count = prefixes;
+  return net::SyntheticTableGenerator(profile).generate(seed);
+}
+
+// -------------------------------------------------------- lookup engine --
+
+TEST(LookupEngineTest, LatencyIsExactlyStageCount) {
+  const RoutingTable table = gen_table(1);
+  const UnibitTrie trie(table);
+  LookupEngine engine{TrieView(trie), kStages};
+  std::vector<LookupResult> out;
+  ASSERT_TRUE(engine.offer(Packet{Ipv4(10, 0, 0, 1), 0}));
+  for (std::size_t c = 0; c < kStages; ++c) {
+    engine.tick(&out);
+  }
+  // The packet enters the pipe on the first tick and exits after kStages
+  // more stage traversals.
+  EXPECT_TRUE(out.empty());
+  engine.tick(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].exit_cycle, kStages + 1);
+}
+
+TEST(LookupEngineTest, SustainsOnePacketPerCycle) {
+  const RoutingTable table = gen_table(2);
+  const UnibitTrie trie(table);
+  LookupEngine engine{TrieView(trie), kStages};
+  std::vector<LookupResult> out;
+  const std::size_t n = 500;
+  std::size_t offered = 0;
+  std::uint64_t cycles = 0;
+  while (out.size() < n) {
+    if (offered < n) {
+      if (engine.offer(Packet{Ipv4(10, 0, 0, 1), 0})) ++offered;
+    }
+    engine.tick(&out);
+    ++cycles;
+  }
+  // Full back-to-back throughput: n packets in n + latency cycles.
+  EXPECT_LE(cycles, n + kStages + 1);
+  EXPECT_EQ(engine.activity().packets_out, n);
+}
+
+TEST(LookupEngineTest, OfferRefusesSecondPacketSameCycle) {
+  const RoutingTable table = gen_table(3);
+  const UnibitTrie trie(table);
+  LookupEngine engine{TrieView(trie), kStages};
+  EXPECT_TRUE(engine.offer(Packet{Ipv4(1, 2, 3, 4), 0}));
+  EXPECT_FALSE(engine.offer(Packet{Ipv4(1, 2, 3, 5), 0}));
+  std::vector<LookupResult> out;
+  engine.tick(&out);
+  EXPECT_TRUE(engine.offer(Packet{Ipv4(1, 2, 3, 5), 0}));
+}
+
+TEST(LookupEngineTest, ResultsMatchTrieLookups) {
+  const RoutingTable table = gen_table(4);
+  const UnibitTrie trie(table);
+  LookupEngine engine{TrieView(trie), kStages};
+  Rng rng(4);
+  std::vector<Packet> packets;
+  for (int i = 0; i < 300; ++i) {
+    packets.push_back(Packet{Ipv4(static_cast<std::uint32_t>(rng.next_u64())),
+                             0});
+  }
+  std::vector<LookupResult> out;
+  std::size_t offered = 0;
+  while (out.size() < packets.size()) {
+    if (offered < packets.size() && engine.offer(packets[offered])) {
+      ++offered;
+    }
+    engine.tick(&out);
+  }
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(out[i].packet, packets[i]);  // in-order completion
+    EXPECT_EQ(out[i].next_hop, trie.lookup(packets[i].addr));
+  }
+}
+
+TEST(LookupEngineTest, DeepTrieRejected) {
+  const RoutingTable table = gen_table(5);
+  const UnibitTrie trie(table);  // height ~24
+  EXPECT_THROW(LookupEngine(TrieView(trie), 10), CapacityError);
+}
+
+TEST(LookupEngineTest, DrainedReflectsOccupancy) {
+  const RoutingTable table = gen_table(6);
+  const UnibitTrie trie(table);
+  LookupEngine engine{TrieView(trie), kStages};
+  EXPECT_TRUE(engine.drained());
+  ASSERT_TRUE(engine.offer(Packet{Ipv4(9, 9, 9, 9), 0}));
+  EXPECT_FALSE(engine.drained());
+  std::vector<LookupResult> out;
+  for (std::size_t c = 0; c <= kStages + 1; ++c) engine.tick(&out);
+  EXPECT_TRUE(engine.drained());
+}
+
+TEST(LookupEngineTest, IdleStagesAreClockGated) {
+  const RoutingTable table = gen_table(7);
+  const UnibitTrie trie(table);
+  LookupEngine engine{TrieView(trie), kStages};
+  std::vector<LookupResult> out;
+  // One packet through an otherwise idle pipe: each stage busy <= 1 cycle.
+  ASSERT_TRUE(engine.offer(Packet{Ipv4(10, 0, 0, 1), 0}));
+  for (std::size_t c = 0; c < kStages + 2; ++c) engine.tick(&out);
+  const ActivityCounters& counters = engine.activity();
+  for (const std::uint64_t busy : counters.stage_busy) {
+    EXPECT_LE(busy, 1u);
+  }
+  // Reads stop once the traversal terminates (trie shallower than pipe).
+  std::uint64_t total_reads = 0;
+  for (const std::uint64_t reads : counters.stage_reads) {
+    total_reads += reads;
+  }
+  EXPECT_LE(total_reads, trie.level_count());
+  EXPECT_GE(total_reads, 1u);
+}
+
+TEST(LookupEngineTest, BusyFractionTracksOfferedLoad) {
+  const RoutingTable table = gen_table(8);
+  const UnibitTrie trie(table);
+  LookupEngine engine{TrieView(trie), kStages};
+  Rng rng(8);
+  std::vector<LookupResult> out;
+  const double load = 0.3;
+  for (int c = 0; c < 20000; ++c) {
+    if (rng.next_bool(load)) {
+      (void)engine.offer(Packet{Ipv4(10, 0, 0, 1), 0});
+    }
+    engine.tick(&out);
+  }
+  EXPECT_NEAR(engine.activity().mean_stage_utilization(), load, 0.03);
+}
+
+TEST(LookupEngineTest, VnidValidatedAgainstTrie) {
+  const RoutingTable table = gen_table(9);
+  const UnibitTrie trie(table);
+  LookupEngine engine{TrieView(trie), kStages};
+  EXPECT_DEATH((void)engine.offer(Packet{Ipv4(1, 1, 1, 1), 3}),
+               "VNID");
+}
+
+// --------------------------------------------------------------- routers --
+
+class RouterFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (std::uint64_t v = 0; v < kVns; ++v) {
+      tables_.push_back(gen_table(100 + v, 300));
+      tries_.emplace_back(UnibitTrie(tables_.back()).leaf_pushed());
+    }
+    for (const auto& t : tries_) {
+      views_.emplace_back(t);
+      trie_ptrs_.push_back(&t);
+    }
+    merged_.emplace(std::span<const UnibitTrie* const>(trie_ptrs_));
+    for (const auto& t : tables_) table_ptrs_.push_back(&t);
+  }
+
+  static constexpr std::size_t kVns = 4;
+  std::vector<RoutingTable> tables_;
+  std::vector<UnibitTrie> tries_;
+  std::vector<TrieView> views_;
+  std::vector<const UnibitTrie*> trie_ptrs_;
+  std::vector<const RoutingTable*> table_ptrs_;
+  std::optional<virt::MergedTrie> merged_;
+};
+
+TEST_F(RouterFixture, SeparateRouterRoutesByVnid) {
+  SeparateRouter router(views_, kStages);
+  net::TrafficConfig config;
+  config.cycles = 3000;
+  const net::TrafficGenerator gen(config, table_ptrs_);
+  const auto trace = gen.generate(11);
+  const SimulationResult sim = run_trace(router, trace);
+  ASSERT_EQ(sim.results.size(), trace.size());
+  for (const LookupResult& r : sim.results) {
+    EXPECT_EQ(r.next_hop, tables_[r.packet.vnid].lookup(r.packet.addr));
+  }
+}
+
+TEST_F(RouterFixture, MergedRouterMatchesPerVnTables) {
+  MergedRouter router(*merged_, kStages);
+  net::TrafficConfig config;
+  config.cycles = 3000;
+  config.load = 0.9;
+  const net::TrafficGenerator gen(config, table_ptrs_);
+  const auto trace = gen.generate(12);
+  const SimulationResult sim = run_trace(router, trace);
+  ASSERT_EQ(sim.results.size(), trace.size());
+  for (const LookupResult& r : sim.results) {
+    EXPECT_EQ(r.next_hop, tables_[r.packet.vnid].lookup(r.packet.addr));
+  }
+}
+
+TEST_F(RouterFixture, SeparateAndMergedAgreeOnEveryPacket) {
+  SeparateRouter separate(views_, kStages);
+  MergedRouter merged_router(*merged_, kStages);
+  net::TrafficConfig config;
+  config.cycles = 2000;
+  config.load = 0.5;
+  const net::TrafficGenerator gen(config, table_ptrs_);
+  const auto trace = gen.generate(13);
+  const SimulationResult a = run_trace(separate, trace);
+  const SimulationResult b = run_trace(merged_router, trace);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  std::map<std::pair<std::uint32_t, net::VnId>,
+           std::optional<net::NextHop>>
+      separate_answers;
+  for (const LookupResult& r : a.results) {
+    separate_answers[{r.packet.addr.value(), r.packet.vnid}] = r.next_hop;
+  }
+  for (const LookupResult& r : b.results) {
+    EXPECT_EQ(separate_answers.at({r.packet.addr.value(), r.packet.vnid}),
+              r.next_hop);
+  }
+}
+
+TEST_F(RouterFixture, SeparateEngineUtilizationFollowsShares) {
+  SeparateRouter router(views_, kStages);
+  net::TrafficConfig config;
+  config.cycles = 30000;
+  config.vn_weights = {4.0, 2.0, 1.0, 1.0};
+  const net::TrafficGenerator gen(config, table_ptrs_);
+  const SimulationResult sim = run_trace(router, gen.generate(14));
+  // Engine 0 gets half the traffic.
+  EXPECT_NEAR(sim.engine_utilization[0], 0.5, 0.04);
+  EXPECT_NEAR(sim.engine_utilization[2], 0.125, 0.03);
+}
+
+TEST_F(RouterFixture, MergedRouterBackpressuresAtFullLoad) {
+  MergedRouter router(*merged_, kStages);
+  net::TrafficConfig config;
+  config.cycles = 2000;
+  config.load = 1.0;  // one packet per cycle = exactly engine capacity
+  const net::TrafficGenerator gen(config, table_ptrs_);
+  const SimulationResult sim = run_trace(router, gen.generate(15));
+  EXPECT_LE(sim.max_queue_depth, 4u);
+  EXPECT_GT(sim.results.size(), 1500u);
+}
+
+TEST_F(RouterFixture, SeparateRejectsMultiVnTrieViews) {
+  std::vector<TrieView> bad{TrieView(*merged_)};
+  EXPECT_DEATH(SeparateRouter(bad, kStages), "single-VN");
+}
+
+// ---------------------------------------------------------------- energy --
+
+TEST_F(RouterFixture, MeasuredPowerMatchesAnalyticalAtUniformLoad) {
+  // The reconciliation the paper's µ-weighted model relies on: simulated
+  // activity-based power equals coefficient × measured utilization.
+  MergedRouter router(*merged_, kStages);
+  net::TrafficConfig config;
+  config.cycles = 20000;
+  config.load = 0.6;
+  const net::TrafficGenerator gen(config, table_ptrs_);
+  const SimulationResult sim = run_trace(router, gen.generate(16));
+
+  // Build the stage BRAM plan of the merged engine.
+  const trie::TrieStats stats = merged_->stats_as_trie();
+  const trie::StageMapping mapping(stats.nodes_per_level.size(), kStages,
+                                   trie::MappingPolicy::kOneLevelPerStage);
+  const trie::NodeEncoding enc;
+  const trie::StageMemory memory = trie::stage_memory(
+      trie::occupancy(stats, mapping), enc, kVns);
+  std::vector<std::uint64_t> stage_bits;
+  for (std::size_t s = 0; s < kStages; ++s) {
+    stage_bits.push_back(memory.stage_bits(s));
+  }
+  const fpga::StageBramPlan plan =
+      fpga::plan_stage_bram(stage_bits, fpga::BramPolicy::kMixed);
+
+  const double freq = 300.0;
+  const EnginePower measured = measure_engine_power(
+      router.engine(0).activity(), plan, fpga::SpeedGrade::kMinus2, freq);
+
+  // Analytical: coefficients × utilization (≈ 0.6 × trace-duty, slightly
+  // below 0.6 because of drain cycles at the trace tail).
+  const double util = router.engine(0).activity().mean_stage_utilization();
+  const double logic_expected =
+      fpga::XpeTables::logic_power_w(fpga::SpeedGrade::kMinus2, kStages,
+                                     freq) *
+      util;
+  EXPECT_NEAR(measured.logic_w, logic_expected, logic_expected * 0.01);
+  EXPECT_GT(measured.memory_w, 0.0);
+  EXPECT_GT(measured.dynamic_w(), measured.logic_w);
+}
+
+TEST(EnergyTest, ZeroCyclesGiveZeroPower) {
+  ActivityCounters counters;
+  counters.stage_busy.assign(4, 0);
+  counters.stage_reads.assign(4, 0);
+  fpga::StageBramPlan plan =
+      fpga::plan_stage_bram({100, 100, 100, 100}, fpga::BramPolicy::kMixed);
+  const EnginePower power = measure_engine_power(
+      counters, plan, fpga::SpeedGrade::kMinus2, 400.0);
+  EXPECT_DOUBLE_EQ(power.dynamic_w(), 0.0);
+}
+
+TEST(EnergyTest, MismatchedStageCountsDie) {
+  ActivityCounters counters;
+  counters.cycles = 10;
+  counters.stage_busy.assign(4, 1);
+  counters.stage_reads.assign(4, 1);
+  fpga::StageBramPlan plan =
+      fpga::plan_stage_bram({100, 100}, fpga::BramPolicy::kMixed);
+  EXPECT_DEATH((void)measure_engine_power(counters, plan,
+                                          fpga::SpeedGrade::kMinus2, 400.0),
+               "stage count");
+}
+
+}  // namespace
+}  // namespace vr::pipeline

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "fpga/thermal.hpp"
+
+namespace vr::fpga {
+namespace {
+
+TEST(ThermalTest, MultiplierIsOneAtCharacterizationPoint) {
+  EXPECT_DOUBLE_EQ(leakage_multiplier(25.0), 1.0);
+  EXPECT_GT(leakage_multiplier(85.0), 1.0);
+  EXPECT_LT(leakage_multiplier(0.0), 1.0);
+}
+
+TEST(ThermalTest, ZeroPowerStaysAtAmbient) {
+  const ThermalOperatingPoint point = solve_thermal(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(point.t_junction_c, 25.0);
+  EXPECT_DOUBLE_EQ(point.total_w, 0.0);
+  EXPECT_TRUE(point.within_limits);
+}
+
+TEST(ThermalTest, FixedPointSatisfiesTheLoopEquation) {
+  const ThermalParams params;
+  const ThermalOperatingPoint point = solve_thermal(4.5, 0.25, params);
+  const double expected_t =
+      params.ambient_c + params.theta_ja_c_per_w * point.total_w;
+  EXPECT_NEAR(point.t_junction_c, expected_t, 1e-6);
+  EXPECT_NEAR(point.static_w,
+              4.5 * leakage_multiplier(point.t_junction_c, params), 1e-9);
+}
+
+TEST(ThermalTest, SettledPowerExceedsColdPower) {
+  const ThermalOperatingPoint point = solve_thermal(4.5, 0.25);
+  EXPECT_GT(point.static_w, 4.5);
+  EXPECT_GT(point.t_junction_c, 25.0);
+  EXPECT_TRUE(point.within_limits);
+}
+
+TEST(ThermalTest, MonotoneInInputPower) {
+  double prev_t = 0.0;
+  for (const double dynamic : {0.0, 1.0, 4.0, 10.0}) {
+    const ThermalOperatingPoint point = solve_thermal(4.5, dynamic);
+    EXPECT_GT(point.t_junction_c, prev_t);
+    prev_t = point.t_junction_c;
+  }
+}
+
+TEST(ThermalTest, PoorHeatsinkBreachesJunctionLimit) {
+  ThermalParams params;
+  params.theta_ja_c_per_w = 12.0;  // no heatsink
+  const ThermalOperatingPoint point = solve_thermal(4.5, 1.0, params);
+  EXPECT_FALSE(point.within_limits);
+}
+
+TEST(ThermalTest, ConvergesQuickly) {
+  const ThermalOperatingPoint point = solve_thermal(4.5, 0.5);
+  EXPECT_LT(point.iterations, 50u);
+}
+
+}  // namespace
+}  // namespace vr::fpga

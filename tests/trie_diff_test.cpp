@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "netbase/table_gen.hpp"
+#include "trie/trie_diff.hpp"
+
+namespace vr::trie {
+namespace {
+
+using net::Prefix;
+using net::RoutingTable;
+
+TEST(TrieDiffTest, IdenticalTriesAreUnchanged) {
+  net::TableProfile profile;
+  profile.prefix_count = 300;
+  const net::SyntheticTableGenerator gen(profile);
+  const RoutingTable table = gen.generate(1);
+  const UnibitTrie a(table);
+  const UnibitTrie b(table);
+  const TrieDiff diff = diff_tries(a, b);
+  EXPECT_EQ(diff.words_written(), 0u);
+  EXPECT_EQ(diff.nodes_unchanged, a.node_count());
+}
+
+TEST(TrieDiffTest, NextHopChangeIsOneWord) {
+  RoutingTable before;
+  before.add(*Prefix::parse("10.0.0.0/8"), 1);
+  RoutingTable after = before;
+  after.add(*Prefix::parse("10.0.0.0/8"), 2);
+  const TrieDiff diff =
+      diff_tries(UnibitTrie(before), UnibitTrie(after));
+  EXPECT_EQ(diff.nodes_changed, 1u);
+  EXPECT_EQ(diff.nodes_added, 0u);
+  EXPECT_EQ(diff.nodes_removed, 0u);
+}
+
+TEST(TrieDiffTest, AddedBranchCountsItsSubtree) {
+  RoutingTable before;
+  before.add(*Prefix::parse("10.0.0.0/8"), 1);
+  RoutingTable after = before;
+  after.add(*Prefix::parse("192.0.0.0/8"), 2);
+  const TrieDiff diff =
+      diff_tries(UnibitTrie(before), UnibitTrie(after));
+  EXPECT_EQ(diff.nodes_added, 8u);   // the new /8 path
+  EXPECT_EQ(diff.nodes_changed, 1u);  // root gains a child pointer
+  EXPECT_EQ(diff.nodes_removed, 0u);
+}
+
+TEST(TrieDiffTest, RemovalIsSymmetricToAddition) {
+  RoutingTable small;
+  small.add(*Prefix::parse("10.0.0.0/8"), 1);
+  RoutingTable big = small;
+  big.add(*Prefix::parse("192.0.0.0/8"), 2);
+  const UnibitTrie small_trie(small);
+  const UnibitTrie big_trie(big);
+  const TrieDiff grow = diff_tries(small_trie, big_trie);
+  const TrieDiff shrink = diff_tries(big_trie, small_trie);
+  EXPECT_EQ(grow.nodes_added, shrink.nodes_removed);
+  EXPECT_EQ(grow.nodes_removed, shrink.nodes_added);
+  EXPECT_EQ(grow.nodes_changed, shrink.nodes_changed);
+}
+
+TEST(TrieDiffTest, LeafPushedAnnounceAmplifies) {
+  // Announce a /2 over an existing deep structure: in the raw trie this
+  // writes one new path; in the leaf-pushed tries, the /2's hop is pushed
+  // into every uncovered leaf below it.
+  RoutingTable before;
+  before.add(*Prefix::parse("0.0.0.0/1"), 1);
+  before.add(*Prefix::parse("0.0.0.0/8"), 2);
+  RoutingTable after = before;
+  after.add(*Prefix::parse("0.0.0.0/2"), 3);
+  const TrieDiff raw = diff_tries(UnibitTrie(before), UnibitTrie(after));
+  const TrieDiff pushed = diff_tries(UnibitTrie(before).leaf_pushed(),
+                                     UnibitTrie(after).leaf_pushed());
+  EXPECT_GT(pushed.words_written(), raw.words_written());
+}
+
+}  // namespace
+}  // namespace vr::trie
