@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_device_sweep.dir/ablation_device_sweep.cpp.o"
+  "CMakeFiles/ablation_device_sweep.dir/ablation_device_sweep.cpp.o.d"
+  "ablation_device_sweep"
+  "ablation_device_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_device_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

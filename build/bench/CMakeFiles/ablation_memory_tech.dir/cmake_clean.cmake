@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memory_tech.dir/ablation_memory_tech.cpp.o"
+  "CMakeFiles/ablation_memory_tech.dir/ablation_memory_tech.cpp.o.d"
+  "ablation_memory_tech"
+  "ablation_memory_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merged_memory_rule.dir/ablation_merged_memory_rule.cpp.o"
+  "CMakeFiles/ablation_merged_memory_rule.dir/ablation_merged_memory_rule.cpp.o.d"
+  "ablation_merged_memory_rule"
+  "ablation_merged_memory_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merged_memory_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

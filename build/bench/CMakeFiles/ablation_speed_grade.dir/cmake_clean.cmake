@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_speed_grade.dir/ablation_speed_grade.cpp.o"
+  "CMakeFiles/ablation_speed_grade.dir/ablation_speed_grade.cpp.o.d"
+  "ablation_speed_grade"
+  "ablation_speed_grade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_speed_grade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_table_spread.dir/ablation_table_spread.cpp.o"
+  "CMakeFiles/ablation_table_spread.dir/ablation_table_spread.cpp.o.d"
+  "ablation_table_spread"
+  "ablation_table_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_table_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

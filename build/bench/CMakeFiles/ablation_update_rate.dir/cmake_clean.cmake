@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_rate.dir/ablation_update_rate.cpp.o"
+  "CMakeFiles/ablation_update_rate.dir/ablation_update_rate.cpp.o.d"
+  "ablation_update_rate"
+  "ablation_update_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_utilization_skew.dir/ablation_utilization_skew.cpp.o"
+  "CMakeFiles/ablation_utilization_skew.dir/ablation_utilization_skew.cpp.o.d"
+  "ablation_utilization_skew"
+  "ablation_utilization_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_utilization_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

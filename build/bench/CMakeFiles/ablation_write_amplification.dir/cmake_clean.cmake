@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_write_amplification.dir/ablation_write_amplification.cpp.o"
+  "CMakeFiles/ablation_write_amplification.dir/ablation_write_amplification.cpp.o.d"
+  "ablation_write_amplification"
+  "ablation_write_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_write_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

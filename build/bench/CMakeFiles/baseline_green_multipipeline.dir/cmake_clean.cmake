@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_green_multipipeline.dir/baseline_green_multipipeline.cpp.o"
+  "CMakeFiles/baseline_green_multipipeline.dir/baseline_green_multipipeline.cpp.o.d"
+  "baseline_green_multipipeline"
+  "baseline_green_multipipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_green_multipipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

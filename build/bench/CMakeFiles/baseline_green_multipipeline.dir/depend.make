@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_green_multipipeline.
+# This may be replaced when dependencies are built.

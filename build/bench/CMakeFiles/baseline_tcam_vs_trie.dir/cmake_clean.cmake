@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_tcam_vs_trie.dir/baseline_tcam_vs_trie.cpp.o"
+  "CMakeFiles/baseline_tcam_vs_trie.dir/baseline_tcam_vs_trie.cpp.o.d"
+  "baseline_tcam_vs_trie"
+  "baseline_tcam_vs_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_tcam_vs_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

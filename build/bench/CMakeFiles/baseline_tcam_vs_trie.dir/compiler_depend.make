@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for baseline_tcam_vs_trie.
+# This may be replaced when dependencies are built.

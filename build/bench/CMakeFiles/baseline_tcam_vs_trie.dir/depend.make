@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_tcam_vs_trie.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_ipv6.dir/extension_ipv6.cpp.o"
+  "CMakeFiles/extension_ipv6.dir/extension_ipv6.cpp.o.d"
+  "extension_ipv6"
+  "extension_ipv6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_ipv6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

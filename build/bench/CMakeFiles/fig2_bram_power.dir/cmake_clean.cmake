@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bram_power.dir/fig2_bram_power.cpp.o"
+  "CMakeFiles/fig2_bram_power.dir/fig2_bram_power.cpp.o.d"
+  "fig2_bram_power"
+  "fig2_bram_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bram_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

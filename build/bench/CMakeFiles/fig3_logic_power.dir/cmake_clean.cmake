@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_logic_power.dir/fig3_logic_power.cpp.o"
+  "CMakeFiles/fig3_logic_power.dir/fig3_logic_power.cpp.o.d"
+  "fig3_logic_power"
+  "fig3_logic_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_logic_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

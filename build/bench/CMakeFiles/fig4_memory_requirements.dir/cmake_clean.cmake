@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_memory_requirements.dir/fig4_memory_requirements.cpp.o"
+  "CMakeFiles/fig4_memory_requirements.dir/fig4_memory_requirements.cpp.o.d"
+  "fig4_memory_requirements"
+  "fig4_memory_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_memory_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

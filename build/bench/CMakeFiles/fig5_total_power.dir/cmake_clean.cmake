@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_total_power.dir/fig5_total_power.cpp.o"
+  "CMakeFiles/fig5_total_power.dir/fig5_total_power.cpp.o.d"
+  "fig5_total_power"
+  "fig5_total_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_total_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_power_efficiency.cpp" "bench/CMakeFiles/fig8_power_efficiency.dir/fig8_power_efficiency.cpp.o" "gcc" "bench/CMakeFiles/fig8_power_efficiency.dir/fig8_power_efficiency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/vr_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipipe/CMakeFiles/vr_multipipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipv6/CMakeFiles/vr_ipv6.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/vr_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/vr_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/vr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/vr_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/vr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

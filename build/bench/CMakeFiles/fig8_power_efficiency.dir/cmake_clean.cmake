@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_power_efficiency.dir/fig8_power_efficiency.cpp.o"
+  "CMakeFiles/fig8_power_efficiency.dir/fig8_power_efficiency.cpp.o.d"
+  "fig8_power_efficiency"
+  "fig8_power_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_power_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

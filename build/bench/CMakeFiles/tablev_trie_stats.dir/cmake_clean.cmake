@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tablev_trie_stats.dir/tablev_trie_stats.cpp.o"
+  "CMakeFiles/tablev_trie_stats.dir/tablev_trie_stats.cpp.o.d"
+  "tablev_trie_stats"
+  "tablev_trie_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tablev_trie_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_seed_sweep.dir/validation_seed_sweep.cpp.o"
+  "CMakeFiles/validation_seed_sweep.dir/validation_seed_sweep.cpp.o.d"
+  "validation_seed_sweep"
+  "validation_seed_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_seed_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_consolidation.dir/edge_consolidation.cpp.o"
+  "CMakeFiles/edge_consolidation.dir/edge_consolidation.cpp.o.d"
+  "edge_consolidation"
+  "edge_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_power_study.dir/low_power_study.cpp.o"
+  "CMakeFiles/low_power_study.dir/low_power_study.cpp.o.d"
+  "low_power_study"
+  "low_power_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_power_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_transparency.dir/qos_transparency.cpp.o"
+  "CMakeFiles/qos_transparency.dir/qos_transparency.cpp.o.d"
+  "qos_transparency"
+  "qos_transparency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_transparency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

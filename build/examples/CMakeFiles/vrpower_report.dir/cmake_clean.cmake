@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrpower_report.dir/vrpower_report.cpp.o"
+  "CMakeFiles/vrpower_report.dir/vrpower_report.cpp.o.d"
+  "vrpower_report"
+  "vrpower_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrpower_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

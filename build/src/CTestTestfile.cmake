@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("netbase")
+subdirs("trie")
+subdirs("virt")
+subdirs("fpga")
+subdirs("power")
+subdirs("pipeline")
+subdirs("core")
+subdirs("tcam")
+subdirs("multipipe")
+subdirs("dataplane")
+subdirs("ipv6")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_common.dir/error.cpp.o"
+  "CMakeFiles/vr_common.dir/error.cpp.o.d"
+  "CMakeFiles/vr_common.dir/rng.cpp.o"
+  "CMakeFiles/vr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vr_common.dir/stats.cpp.o"
+  "CMakeFiles/vr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vr_common.dir/table.cpp.o"
+  "CMakeFiles/vr_common.dir/table.cpp.o.d"
+  "libvr_common.a"
+  "libvr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_core.dir/estimator.cpp.o"
+  "CMakeFiles/vr_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/vr_core.dir/experiment.cpp.o"
+  "CMakeFiles/vr_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/vr_core.dir/figures.cpp.o"
+  "CMakeFiles/vr_core.dir/figures.cpp.o.d"
+  "CMakeFiles/vr_core.dir/scenario.cpp.o"
+  "CMakeFiles/vr_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/vr_core.dir/validator.cpp.o"
+  "CMakeFiles/vr_core.dir/validator.cpp.o.d"
+  "CMakeFiles/vr_core.dir/workload.cpp.o"
+  "CMakeFiles/vr_core.dir/workload.cpp.o.d"
+  "libvr_core.a"
+  "libvr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/editor.cpp" "src/dataplane/CMakeFiles/vr_dataplane.dir/editor.cpp.o" "gcc" "src/dataplane/CMakeFiles/vr_dataplane.dir/editor.cpp.o.d"
+  "/root/repo/src/dataplane/frame_gen.cpp" "src/dataplane/CMakeFiles/vr_dataplane.dir/frame_gen.cpp.o" "gcc" "src/dataplane/CMakeFiles/vr_dataplane.dir/frame_gen.cpp.o.d"
+  "/root/repo/src/dataplane/full_router.cpp" "src/dataplane/CMakeFiles/vr_dataplane.dir/full_router.cpp.o" "gcc" "src/dataplane/CMakeFiles/vr_dataplane.dir/full_router.cpp.o.d"
+  "/root/repo/src/dataplane/parser.cpp" "src/dataplane/CMakeFiles/vr_dataplane.dir/parser.cpp.o" "gcc" "src/dataplane/CMakeFiles/vr_dataplane.dir/parser.cpp.o.d"
+  "/root/repo/src/dataplane/scheduler.cpp" "src/dataplane/CMakeFiles/vr_dataplane.dir/scheduler.cpp.o" "gcc" "src/dataplane/CMakeFiles/vr_dataplane.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/vr_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/vr_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/vr_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/vr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/vr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

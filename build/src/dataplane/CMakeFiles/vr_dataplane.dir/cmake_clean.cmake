@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_dataplane.dir/editor.cpp.o"
+  "CMakeFiles/vr_dataplane.dir/editor.cpp.o.d"
+  "CMakeFiles/vr_dataplane.dir/frame_gen.cpp.o"
+  "CMakeFiles/vr_dataplane.dir/frame_gen.cpp.o.d"
+  "CMakeFiles/vr_dataplane.dir/full_router.cpp.o"
+  "CMakeFiles/vr_dataplane.dir/full_router.cpp.o.d"
+  "CMakeFiles/vr_dataplane.dir/parser.cpp.o"
+  "CMakeFiles/vr_dataplane.dir/parser.cpp.o.d"
+  "CMakeFiles/vr_dataplane.dir/scheduler.cpp.o"
+  "CMakeFiles/vr_dataplane.dir/scheduler.cpp.o.d"
+  "libvr_dataplane.a"
+  "libvr_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

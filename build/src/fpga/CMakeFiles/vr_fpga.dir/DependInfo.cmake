@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/bram.cpp" "src/fpga/CMakeFiles/vr_fpga.dir/bram.cpp.o" "gcc" "src/fpga/CMakeFiles/vr_fpga.dir/bram.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/vr_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/vr_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/distram.cpp" "src/fpga/CMakeFiles/vr_fpga.dir/distram.cpp.o" "gcc" "src/fpga/CMakeFiles/vr_fpga.dir/distram.cpp.o.d"
+  "/root/repo/src/fpga/freq_model.cpp" "src/fpga/CMakeFiles/vr_fpga.dir/freq_model.cpp.o" "gcc" "src/fpga/CMakeFiles/vr_fpga.dir/freq_model.cpp.o.d"
+  "/root/repo/src/fpga/pnr_sim.cpp" "src/fpga/CMakeFiles/vr_fpga.dir/pnr_sim.cpp.o" "gcc" "src/fpga/CMakeFiles/vr_fpga.dir/pnr_sim.cpp.o.d"
+  "/root/repo/src/fpga/thermal.cpp" "src/fpga/CMakeFiles/vr_fpga.dir/thermal.cpp.o" "gcc" "src/fpga/CMakeFiles/vr_fpga.dir/thermal.cpp.o.d"
+  "/root/repo/src/fpga/xpe_tables.cpp" "src/fpga/CMakeFiles/vr_fpga.dir/xpe_tables.cpp.o" "gcc" "src/fpga/CMakeFiles/vr_fpga.dir/xpe_tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_fpga.dir/bram.cpp.o"
+  "CMakeFiles/vr_fpga.dir/bram.cpp.o.d"
+  "CMakeFiles/vr_fpga.dir/device.cpp.o"
+  "CMakeFiles/vr_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/vr_fpga.dir/distram.cpp.o"
+  "CMakeFiles/vr_fpga.dir/distram.cpp.o.d"
+  "CMakeFiles/vr_fpga.dir/freq_model.cpp.o"
+  "CMakeFiles/vr_fpga.dir/freq_model.cpp.o.d"
+  "CMakeFiles/vr_fpga.dir/pnr_sim.cpp.o"
+  "CMakeFiles/vr_fpga.dir/pnr_sim.cpp.o.d"
+  "CMakeFiles/vr_fpga.dir/thermal.cpp.o"
+  "CMakeFiles/vr_fpga.dir/thermal.cpp.o.d"
+  "CMakeFiles/vr_fpga.dir/xpe_tables.cpp.o"
+  "CMakeFiles/vr_fpga.dir/xpe_tables.cpp.o.d"
+  "libvr_fpga.a"
+  "libvr_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipv6/ipv6.cpp" "src/ipv6/CMakeFiles/vr_ipv6.dir/ipv6.cpp.o" "gcc" "src/ipv6/CMakeFiles/vr_ipv6.dir/ipv6.cpp.o.d"
+  "/root/repo/src/ipv6/ipv6_trie.cpp" "src/ipv6/CMakeFiles/vr_ipv6.dir/ipv6_trie.cpp.o" "gcc" "src/ipv6/CMakeFiles/vr_ipv6.dir/ipv6_trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trie/CMakeFiles/vr_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/vr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

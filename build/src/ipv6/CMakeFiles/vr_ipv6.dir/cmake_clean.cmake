@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_ipv6.dir/ipv6.cpp.o"
+  "CMakeFiles/vr_ipv6.dir/ipv6.cpp.o.d"
+  "CMakeFiles/vr_ipv6.dir/ipv6_trie.cpp.o"
+  "CMakeFiles/vr_ipv6.dir/ipv6_trie.cpp.o.d"
+  "libvr_ipv6.a"
+  "libvr_ipv6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_ipv6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

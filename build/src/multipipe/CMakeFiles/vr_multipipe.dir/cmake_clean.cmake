@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_multipipe.dir/multipipe_power.cpp.o"
+  "CMakeFiles/vr_multipipe.dir/multipipe_power.cpp.o.d"
+  "CMakeFiles/vr_multipipe.dir/partition.cpp.o"
+  "CMakeFiles/vr_multipipe.dir/partition.cpp.o.d"
+  "libvr_multipipe.a"
+  "libvr_multipipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_multipipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

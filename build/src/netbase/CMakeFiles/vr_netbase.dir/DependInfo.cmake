@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbase/ipv4.cpp" "src/netbase/CMakeFiles/vr_netbase.dir/ipv4.cpp.o" "gcc" "src/netbase/CMakeFiles/vr_netbase.dir/ipv4.cpp.o.d"
+  "/root/repo/src/netbase/packet.cpp" "src/netbase/CMakeFiles/vr_netbase.dir/packet.cpp.o" "gcc" "src/netbase/CMakeFiles/vr_netbase.dir/packet.cpp.o.d"
+  "/root/repo/src/netbase/prefix.cpp" "src/netbase/CMakeFiles/vr_netbase.dir/prefix.cpp.o" "gcc" "src/netbase/CMakeFiles/vr_netbase.dir/prefix.cpp.o.d"
+  "/root/repo/src/netbase/routing_table.cpp" "src/netbase/CMakeFiles/vr_netbase.dir/routing_table.cpp.o" "gcc" "src/netbase/CMakeFiles/vr_netbase.dir/routing_table.cpp.o.d"
+  "/root/repo/src/netbase/table_gen.cpp" "src/netbase/CMakeFiles/vr_netbase.dir/table_gen.cpp.o" "gcc" "src/netbase/CMakeFiles/vr_netbase.dir/table_gen.cpp.o.d"
+  "/root/repo/src/netbase/traffic.cpp" "src/netbase/CMakeFiles/vr_netbase.dir/traffic.cpp.o" "gcc" "src/netbase/CMakeFiles/vr_netbase.dir/traffic.cpp.o.d"
+  "/root/repo/src/netbase/update_gen.cpp" "src/netbase/CMakeFiles/vr_netbase.dir/update_gen.cpp.o" "gcc" "src/netbase/CMakeFiles/vr_netbase.dir/update_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

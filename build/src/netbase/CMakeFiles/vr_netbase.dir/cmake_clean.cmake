@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_netbase.dir/ipv4.cpp.o"
+  "CMakeFiles/vr_netbase.dir/ipv4.cpp.o.d"
+  "CMakeFiles/vr_netbase.dir/packet.cpp.o"
+  "CMakeFiles/vr_netbase.dir/packet.cpp.o.d"
+  "CMakeFiles/vr_netbase.dir/prefix.cpp.o"
+  "CMakeFiles/vr_netbase.dir/prefix.cpp.o.d"
+  "CMakeFiles/vr_netbase.dir/routing_table.cpp.o"
+  "CMakeFiles/vr_netbase.dir/routing_table.cpp.o.d"
+  "CMakeFiles/vr_netbase.dir/table_gen.cpp.o"
+  "CMakeFiles/vr_netbase.dir/table_gen.cpp.o.d"
+  "CMakeFiles/vr_netbase.dir/traffic.cpp.o"
+  "CMakeFiles/vr_netbase.dir/traffic.cpp.o.d"
+  "CMakeFiles/vr_netbase.dir/update_gen.cpp.o"
+  "CMakeFiles/vr_netbase.dir/update_gen.cpp.o.d"
+  "libvr_netbase.a"
+  "libvr_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/energy.cpp" "src/pipeline/CMakeFiles/vr_pipeline.dir/energy.cpp.o" "gcc" "src/pipeline/CMakeFiles/vr_pipeline.dir/energy.cpp.o.d"
+  "/root/repo/src/pipeline/lookup_engine.cpp" "src/pipeline/CMakeFiles/vr_pipeline.dir/lookup_engine.cpp.o" "gcc" "src/pipeline/CMakeFiles/vr_pipeline.dir/lookup_engine.cpp.o.d"
+  "/root/repo/src/pipeline/router.cpp" "src/pipeline/CMakeFiles/vr_pipeline.dir/router.cpp.o" "gcc" "src/pipeline/CMakeFiles/vr_pipeline.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/virt/CMakeFiles/vr_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/vr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/vr_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/vr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_pipeline.dir/energy.cpp.o"
+  "CMakeFiles/vr_pipeline.dir/energy.cpp.o.d"
+  "CMakeFiles/vr_pipeline.dir/lookup_engine.cpp.o"
+  "CMakeFiles/vr_pipeline.dir/lookup_engine.cpp.o.d"
+  "CMakeFiles/vr_pipeline.dir/router.cpp.o"
+  "CMakeFiles/vr_pipeline.dir/router.cpp.o.d"
+  "libvr_pipeline.a"
+  "libvr_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

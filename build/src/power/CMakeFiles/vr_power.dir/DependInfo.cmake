@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/analytical_model.cpp" "src/power/CMakeFiles/vr_power.dir/analytical_model.cpp.o" "gcc" "src/power/CMakeFiles/vr_power.dir/analytical_model.cpp.o.d"
+  "/root/repo/src/power/resource_model.cpp" "src/power/CMakeFiles/vr_power.dir/resource_model.cpp.o" "gcc" "src/power/CMakeFiles/vr_power.dir/resource_model.cpp.o.d"
+  "/root/repo/src/power/update_power.cpp" "src/power/CMakeFiles/vr_power.dir/update_power.cpp.o" "gcc" "src/power/CMakeFiles/vr_power.dir/update_power.cpp.o.d"
+  "/root/repo/src/power/utilization.cpp" "src/power/CMakeFiles/vr_power.dir/utilization.cpp.o" "gcc" "src/power/CMakeFiles/vr_power.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/vr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/vr_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/vr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_power.dir/analytical_model.cpp.o"
+  "CMakeFiles/vr_power.dir/analytical_model.cpp.o.d"
+  "CMakeFiles/vr_power.dir/resource_model.cpp.o"
+  "CMakeFiles/vr_power.dir/resource_model.cpp.o.d"
+  "CMakeFiles/vr_power.dir/update_power.cpp.o"
+  "CMakeFiles/vr_power.dir/update_power.cpp.o.d"
+  "CMakeFiles/vr_power.dir/utilization.cpp.o"
+  "CMakeFiles/vr_power.dir/utilization.cpp.o.d"
+  "libvr_power.a"
+  "libvr_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcam/tcam.cpp" "src/tcam/CMakeFiles/vr_tcam.dir/tcam.cpp.o" "gcc" "src/tcam/CMakeFiles/vr_tcam.dir/tcam.cpp.o.d"
+  "/root/repo/src/tcam/tcam_power.cpp" "src/tcam/CMakeFiles/vr_tcam.dir/tcam_power.cpp.o" "gcc" "src/tcam/CMakeFiles/vr_tcam.dir/tcam_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/vr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

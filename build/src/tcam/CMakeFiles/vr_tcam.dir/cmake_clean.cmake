@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_tcam.dir/tcam.cpp.o"
+  "CMakeFiles/vr_tcam.dir/tcam.cpp.o.d"
+  "CMakeFiles/vr_tcam.dir/tcam_power.cpp.o"
+  "CMakeFiles/vr_tcam.dir/tcam_power.cpp.o.d"
+  "libvr_tcam.a"
+  "libvr_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trie/memory_layout.cpp" "src/trie/CMakeFiles/vr_trie.dir/memory_layout.cpp.o" "gcc" "src/trie/CMakeFiles/vr_trie.dir/memory_layout.cpp.o.d"
+  "/root/repo/src/trie/multibit_trie.cpp" "src/trie/CMakeFiles/vr_trie.dir/multibit_trie.cpp.o" "gcc" "src/trie/CMakeFiles/vr_trie.dir/multibit_trie.cpp.o.d"
+  "/root/repo/src/trie/stage_mapping.cpp" "src/trie/CMakeFiles/vr_trie.dir/stage_mapping.cpp.o" "gcc" "src/trie/CMakeFiles/vr_trie.dir/stage_mapping.cpp.o.d"
+  "/root/repo/src/trie/trie_diff.cpp" "src/trie/CMakeFiles/vr_trie.dir/trie_diff.cpp.o" "gcc" "src/trie/CMakeFiles/vr_trie.dir/trie_diff.cpp.o.d"
+  "/root/repo/src/trie/trie_stats.cpp" "src/trie/CMakeFiles/vr_trie.dir/trie_stats.cpp.o" "gcc" "src/trie/CMakeFiles/vr_trie.dir/trie_stats.cpp.o.d"
+  "/root/repo/src/trie/unibit_trie.cpp" "src/trie/CMakeFiles/vr_trie.dir/unibit_trie.cpp.o" "gcc" "src/trie/CMakeFiles/vr_trie.dir/unibit_trie.cpp.o.d"
+  "/root/repo/src/trie/updatable_trie.cpp" "src/trie/CMakeFiles/vr_trie.dir/updatable_trie.cpp.o" "gcc" "src/trie/CMakeFiles/vr_trie.dir/updatable_trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/vr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_trie.dir/memory_layout.cpp.o"
+  "CMakeFiles/vr_trie.dir/memory_layout.cpp.o.d"
+  "CMakeFiles/vr_trie.dir/multibit_trie.cpp.o"
+  "CMakeFiles/vr_trie.dir/multibit_trie.cpp.o.d"
+  "CMakeFiles/vr_trie.dir/stage_mapping.cpp.o"
+  "CMakeFiles/vr_trie.dir/stage_mapping.cpp.o.d"
+  "CMakeFiles/vr_trie.dir/trie_diff.cpp.o"
+  "CMakeFiles/vr_trie.dir/trie_diff.cpp.o.d"
+  "CMakeFiles/vr_trie.dir/trie_stats.cpp.o"
+  "CMakeFiles/vr_trie.dir/trie_stats.cpp.o.d"
+  "CMakeFiles/vr_trie.dir/unibit_trie.cpp.o"
+  "CMakeFiles/vr_trie.dir/unibit_trie.cpp.o.d"
+  "CMakeFiles/vr_trie.dir/updatable_trie.cpp.o"
+  "CMakeFiles/vr_trie.dir/updatable_trie.cpp.o.d"
+  "libvr_trie.a"
+  "libvr_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virt/merged_trie.cpp" "src/virt/CMakeFiles/vr_virt.dir/merged_trie.cpp.o" "gcc" "src/virt/CMakeFiles/vr_virt.dir/merged_trie.cpp.o.d"
+  "/root/repo/src/virt/overlap_model.cpp" "src/virt/CMakeFiles/vr_virt.dir/overlap_model.cpp.o" "gcc" "src/virt/CMakeFiles/vr_virt.dir/overlap_model.cpp.o.d"
+  "/root/repo/src/virt/table_set_gen.cpp" "src/virt/CMakeFiles/vr_virt.dir/table_set_gen.cpp.o" "gcc" "src/virt/CMakeFiles/vr_virt.dir/table_set_gen.cpp.o.d"
+  "/root/repo/src/virt/updatable_merged.cpp" "src/virt/CMakeFiles/vr_virt.dir/updatable_merged.cpp.o" "gcc" "src/virt/CMakeFiles/vr_virt.dir/updatable_merged.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trie/CMakeFiles/vr_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/vr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_virt.dir/merged_trie.cpp.o"
+  "CMakeFiles/vr_virt.dir/merged_trie.cpp.o.d"
+  "CMakeFiles/vr_virt.dir/overlap_model.cpp.o"
+  "CMakeFiles/vr_virt.dir/overlap_model.cpp.o.d"
+  "CMakeFiles/vr_virt.dir/table_set_gen.cpp.o"
+  "CMakeFiles/vr_virt.dir/table_set_gen.cpp.o.d"
+  "CMakeFiles/vr_virt.dir/updatable_merged.cpp.o"
+  "CMakeFiles/vr_virt.dir/updatable_merged.cpp.o.d"
+  "libvr_virt.a"
+  "libvr_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

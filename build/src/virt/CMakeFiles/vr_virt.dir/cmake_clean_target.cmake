@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvr_virt.a"
+)

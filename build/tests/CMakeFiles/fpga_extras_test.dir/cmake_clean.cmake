@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_extras_test.dir/fpga_extras_test.cpp.o"
+  "CMakeFiles/fpga_extras_test.dir/fpga_extras_test.cpp.o.d"
+  "fpga_extras_test"
+  "fpga_extras_test.pdb"
+  "fpga_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multibit_test.dir/multibit_test.cpp.o"
+  "CMakeFiles/multibit_test.dir/multibit_test.cpp.o.d"
+  "multibit_test"
+  "multibit_test.pdb"
+  "multibit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multibit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

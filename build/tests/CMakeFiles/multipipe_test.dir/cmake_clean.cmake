@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipipe_test.dir/multipipe_test.cpp.o"
+  "CMakeFiles/multipipe_test.dir/multipipe_test.cpp.o.d"
+  "multipipe_test"
+  "multipipe_test.pdb"
+  "multipipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

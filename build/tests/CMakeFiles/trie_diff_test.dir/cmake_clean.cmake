@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trie_diff_test.dir/trie_diff_test.cpp.o"
+  "CMakeFiles/trie_diff_test.dir/trie_diff_test.cpp.o.d"
+  "trie_diff_test"
+  "trie_diff_test.pdb"
+  "trie_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trie_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

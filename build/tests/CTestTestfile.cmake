@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/netbase_test[1]_include.cmake")
+include("/root/repo/build/tests/trie_test[1]_include.cmake")
+include("/root/repo/build/tests/virt_test[1]_include.cmake")
+include("/root/repo/build/tests/fpga_test[1]_include.cmake")
+include("/root/repo/build/tests/power_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/update_test[1]_include.cmake")
+include("/root/repo/build/tests/tcam_test[1]_include.cmake")
+include("/root/repo/build/tests/multipipe_test[1]_include.cmake")
+include("/root/repo/build/tests/dataplane_test[1]_include.cmake")
+include("/root/repo/build/tests/multibit_test[1]_include.cmake")
+include("/root/repo/build/tests/fpga_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/trie_diff_test[1]_include.cmake")
+include("/root/repo/build/tests/thermal_test[1]_include.cmake")
+include("/root/repo/build/tests/heterogeneous_test[1]_include.cmake")
+include("/root/repo/build/tests/ipv6_test[1]_include.cmake")
