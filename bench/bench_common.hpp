@@ -1,9 +1,19 @@
 // Shared plumbing for the figure/table bench binaries: every binary prints
 // a human-readable table followed by machine-readable CSV so EXPERIMENTS.md
 // can be regenerated from a single run.
+//
+// Sweep-heavy binaries accept:
+//   --threads N   worker threads for the K sweeps (default: VR_THREADS env
+//                 var, else the hardware concurrency; output is
+//                 bit-identical for every thread count)
+//   --serial      shorthand for --threads 1 --no-cache (the seed behaviour)
+//   --no-cache    rebuild every workload instead of using WorkloadCache
 #pragma once
 
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "common/table.hpp"
 #include "core/figures.hpp"
@@ -12,6 +22,24 @@ namespace vr::bench {
 
 /// Paper-sized sweep options (3 725-prefix tables, K = 1..15, N = 28).
 inline core::FigureOptions paper_options() { return core::FigureOptions{}; }
+
+/// Paper-sized options with the common command-line flags applied.
+inline core::FigureOptions paper_options(int argc, char** argv) {
+  core::FigureOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      opt.threads = static_cast<std::size_t>(
+          std::max(1L, std::strtol(argv[++i], nullptr, 10)));
+    } else if (arg == "--serial") {
+      opt.threads = 1;
+      opt.use_cache = false;
+    } else if (arg == "--no-cache") {
+      opt.use_cache = false;
+    }
+  }
+  return opt;
+}
 
 inline void emit(const SeriesTable& table) {
   table.render(std::cout);

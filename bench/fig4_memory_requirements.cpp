@@ -2,10 +2,10 @@
 // of virtual networks for merged (α = 80 %, α = 20 %) and separate.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vr;
   const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
-                                    bench::paper_options());
+                                    bench::paper_options(argc, argv));
   const core::FigureBuilder::Fig4 fig = builder.fig4_memory();
   bench::emit(fig.pointer_memory);
   bench::emit(fig.nhi_memory);

@@ -3,10 +3,10 @@
 // the analytical-model and the simulated post-PnR ("experimental") values.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vr;
   const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
-                                    bench::paper_options());
+                                    bench::paper_options(argc, argv));
   bench::emit(builder.fig5_total_power(fpga::SpeedGrade::kMinus2));
   bench::emit(builder.fig5_total_power(fpga::SpeedGrade::kMinus1L));
   return 0;

@@ -3,10 +3,10 @@
 // where the tool-optimization-driven decrease is visible.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vr;
   const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
-                                    bench::paper_options());
+                                    bench::paper_options(argc, argv));
   bench::emit(builder.fig6_virtualized_power(fpga::SpeedGrade::kMinus2));
   bench::emit(builder.fig6_virtualized_power(fpga::SpeedGrade::kMinus1L));
   return 0;

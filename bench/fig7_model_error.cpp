@@ -6,10 +6,10 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vr;
   const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
-                                    bench::paper_options());
+                                    bench::paper_options(argc, argv));
   double worst = 0.0;
   for (const auto grade :
        {fpga::SpeedGrade::kMinus2, fpga::SpeedGrade::kMinus1L}) {

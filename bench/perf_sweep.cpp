@@ -1,0 +1,184 @@
+// perf_sweep — times a full Figs. 5–8 regeneration (both speed grades)
+// three ways and emits machine-readable JSON so future PRs have a perf
+// trajectory:
+//   1. serial-cold:     threads = 1, no workload cache (the seed behaviour)
+//   2. parallel-cold:   N threads + WorkloadCache, cache cleared first
+//   3. parallel-warm:   same builder against the warm cache
+// It also cross-checks that all three runs produce byte-identical CSV (the
+// determinism contract of SweepRunner + WorkloadCache) and measures the
+// flat-SoA batched-lookup throughput. Exits non-zero if outputs diverge.
+//
+// Flags: --threads N, --output FILE (default BENCH_sweep.json), --quick
+// (reduced table/sweep for CI smoke use).
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/sweep.hpp"
+#include "core/workload_cache.hpp"
+#include "netbase/table_gen.hpp"
+#include "trie/flat_trie.hpp"
+#include "trie/unibit_trie.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Renders every table of the Figs. 5–8 regeneration to one CSV blob.
+std::string regenerate(const vr::core::FigureBuilder& builder) {
+  std::ostringstream os;
+  for (const auto grade :
+       {vr::fpga::SpeedGrade::kMinus2, vr::fpga::SpeedGrade::kMinus1L}) {
+    builder.fig5_total_power(grade).render_csv(os);
+    builder.fig6_virtualized_power(grade).render_csv(os);
+    builder.fig7_model_error(grade).render_csv(os);
+    builder.fig8_efficiency(grade).render_csv(os);
+  }
+  return os.str();
+}
+
+/// Million lookups per second of the batched flat-SoA hot path.
+double batched_lookup_mlps(const vr::core::FigureOptions& opt) {
+  const vr::net::SyntheticTableGenerator gen(opt.table_profile);
+  const vr::trie::UnibitTrie trie =
+      vr::trie::UnibitTrie(gen.generate(opt.seed)).leaf_pushed();
+  vr::Rng rng(42);
+  std::vector<vr::net::Ipv4> addrs;
+  constexpr std::size_t kLookups = 1u << 20;
+  addrs.reserve(kLookups);
+  for (std::size_t i = 0; i < kLookups; ++i) {
+    addrs.emplace_back(static_cast<std::uint32_t>(rng.next_u64()));
+  }
+  const auto start = Clock::now();
+  const std::vector<vr::net::NextHop> hops = trie.lookup_batch(addrs);
+  const double ms = ms_since(start);
+  // Fold the results so the loop cannot be optimized away.
+  std::uint64_t sink = 0;
+  for (const vr::net::NextHop hop : hops) sink += hop;
+  if (sink == 0xdeadbeef) std::cerr << "";  // defeat DCE, never taken
+  return static_cast<double>(kLookups) / 1e3 / ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vr;
+  core::FigureOptions base;
+  std::string output = "BENCH_sweep.json";
+  bool quick = false;
+  std::size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(
+          std::max(1L, std::strtol(argv[++i], nullptr, 10)));
+    } else if (arg == "--output" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    }
+  }
+  if (quick) {
+    base.table_profile.prefix_count = 600;
+    base.max_vn = 6;
+    base.memory_max_vn = 8;
+  }
+  const std::size_t parallel_threads =
+      threads == 0 ? core::default_sweep_threads() : threads;
+  const fpga::DeviceSpec device = fpga::DeviceSpec::xc6vlx760();
+
+  // 1. Serial cold: the seed behaviour (one thread, every workload
+  //    rebuilt at every sweep point).
+  core::FigureOptions serial = base;
+  serial.threads = 1;
+  serial.use_cache = false;
+  core::WorkloadCache::global().clear();
+  const auto serial_start = Clock::now();
+  const std::string serial_csv =
+      regenerate(core::FigureBuilder(device, serial));
+  const double serial_ms = ms_since(serial_start);
+
+  // 2. Parallel + cache, cold.
+  core::FigureOptions parallel = base;
+  parallel.threads = parallel_threads;
+  parallel.use_cache = true;
+  core::WorkloadCache::global().clear();
+  const core::FigureBuilder parallel_builder(device, parallel);
+  const auto cold_start = Clock::now();
+  const std::string parallel_csv = regenerate(parallel_builder);
+  const double parallel_cold_ms = ms_since(cold_start);
+  const core::WorkloadCache::Stats cold_stats =
+      core::WorkloadCache::global().stats();
+
+  // 3. Same builder, warm cache.
+  const auto warm_start = Clock::now();
+  const std::string warm_csv = regenerate(parallel_builder);
+  const double parallel_warm_ms = ms_since(warm_start);
+
+  const bool identical =
+      serial_csv == parallel_csv && parallel_csv == warm_csv;
+  const double speedup_cold = serial_ms / parallel_cold_ms;
+  const double speedup_warm = serial_ms / parallel_warm_ms;
+  const double mlps = batched_lookup_mlps(base);
+
+  TextTable table("perf_sweep - full Figs. 5-8 regeneration, both grades" +
+                  std::string(quick ? " (quick profile)" : ""));
+  table.set_header({"mode", "wall ms", "speedup vs serial"});
+  table.add_row({"serial cold (seed behaviour)", TextTable::num(serial_ms, 1),
+                 "1.000"});
+  table.add_row({"parallel cold (" + std::to_string(parallel_threads) +
+                     " threads + cache)",
+                 TextTable::num(parallel_cold_ms, 1),
+                 TextTable::num(speedup_cold, 3)});
+  table.add_row({"parallel warm (cache hit)",
+                 TextTable::num(parallel_warm_ms, 1),
+                 TextTable::num(speedup_warm, 3)});
+  vr::bench::emit(table);
+  std::cout << "outputs byte-identical across modes: "
+            << (identical ? "yes" : "NO — DETERMINISM VIOLATION") << '\n'
+            << "workload cache: " << cold_stats.hits << " hits / "
+            << cold_stats.misses << " misses on the cold parallel run\n"
+            << "flat SoA batched lookup: " << TextTable::num(mlps, 2)
+            << " Mlookups/s\n";
+
+  std::ofstream json(output);
+  json << "{\n"
+       << "  \"benchmark\": \"perf_sweep\",\n"
+       << "  \"profile\": \"" << (quick ? "quick" : "paper") << "\",\n"
+       << "  \"figures\": [\"fig5\", \"fig6\", \"fig7\", \"fig8\"],\n"
+       << "  \"grades\": [\"-2\", \"-1L\"],\n"
+       << "  \"threads\": " << parallel_threads << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"serial_cold_ms\": " << TextTable::num(serial_ms, 3) << ",\n"
+       << "  \"parallel_cold_ms\": " << TextTable::num(parallel_cold_ms, 3)
+       << ",\n"
+       << "  \"parallel_warm_ms\": " << TextTable::num(parallel_warm_ms, 3)
+       << ",\n"
+       << "  \"speedup_parallel_cached_vs_serial\": "
+       << TextTable::num(speedup_cold, 3) << ",\n"
+       << "  \"speedup_warm_vs_serial\": " << TextTable::num(speedup_warm, 3)
+       << ",\n"
+       << "  \"outputs_identical\": " << (identical ? "true" : "false")
+       << ",\n"
+       << "  \"cache_hits\": " << cold_stats.hits << ",\n"
+       << "  \"cache_misses\": " << cold_stats.misses << ",\n"
+       << "  \"batched_lookup_mlps\": " << TextTable::num(mlps, 3) << "\n"
+       << "}\n";
+  if (!json) {
+    std::cerr << "error: could not write " << output << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << output << '\n';
+
+  if (!identical) return 1;
+  return 0;
+}

@@ -23,7 +23,16 @@ FigureBuilder::FigureBuilder(fpga::DeviceSpec device, FigureOptions options,
                              fpga::FreqModelParams freq_params)
     : device_(std::move(device)),
       options_(options),
-      validator_(device_, effects, freq_params) {}
+      validator_(device_, effects, freq_params),
+      runner_(options.threads) {}
+
+std::shared_ptr<const Workload> FigureBuilder::workload_for(
+    const Scenario& scenario) const {
+  if (options_.use_cache) {
+    return WorkloadCache::global().realize(scenario);
+  }
+  return std::make_shared<const Workload>(realize_workload(scenario));
+}
 
 Scenario FigureBuilder::sweep_scenario(power::Scheme scheme,
                                        std::size_t vn_count, double alpha,
@@ -88,28 +97,38 @@ FigureBuilder::Fig4 FigureBuilder::fig4_memory() const {
                   {hi, lo, "separate"}),
   };
   const PowerEstimator& estimator = validator_.estimator();
-  for (std::size_t k = 1; k <= options_.memory_max_vn; ++k) {
+  struct Row {
     double ptr[3] = {0, 0, 0};
     double nhi[3] = {0, 0, 0};
-    const double alphas[2] = {options_.alpha_high, options_.alpha_low};
-    for (int a = 0; a < 2; ++a) {
-      const Scenario s = sweep_scenario(power::Scheme::kMerged, k, alphas[a],
-                                        fpga::SpeedGrade::kMinus2);
-      const Estimate est = estimator.estimate(s);
-      ptr[a] = bits_to_kbits(static_cast<double>(est.resources.pointer_bits));
-      nhi[a] = bits_to_kbits(static_cast<double>(est.resources.nhi_bits));
-    }
-    {
-      const Scenario s = sweep_scenario(power::Scheme::kSeparate, k, 1.0,
-                                        fpga::SpeedGrade::kMinus2);
-      const Estimate est = estimator.estimate(s);
-      ptr[2] = bits_to_kbits(static_cast<double>(est.resources.pointer_bits));
-      nhi[2] = bits_to_kbits(static_cast<double>(est.resources.nhi_bits));
-    }
-    fig.pointer_memory.add_point(static_cast<double>(k),
-                                 {ptr[0], ptr[1], ptr[2]});
-    fig.nhi_memory.add_point(static_cast<double>(k),
-                             {nhi[0], nhi[1], nhi[2]});
+  };
+  const std::vector<Row> rows =
+      runner_.map(options_.memory_max_vn, [&](std::size_t i) {
+        const std::size_t k = i + 1;
+        Row row;
+        const struct {
+          power::Scheme scheme;
+          double alpha;
+        } cases[3] = {{power::Scheme::kMerged, options_.alpha_high},
+                      {power::Scheme::kMerged, options_.alpha_low},
+                      {power::Scheme::kSeparate, 1.0}};
+        for (int c = 0; c < 3; ++c) {
+          const Scenario s = sweep_scenario(cases[c].scheme, k,
+                                            cases[c].alpha,
+                                            fpga::SpeedGrade::kMinus2);
+          const Estimate est = estimator.estimate(s, *workload_for(s));
+          row.ptr[c] =
+              bits_to_kbits(static_cast<double>(est.resources.pointer_bits));
+          row.nhi[c] =
+              bits_to_kbits(static_cast<double>(est.resources.nhi_bits));
+        }
+        return row;
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    fig.pointer_memory.add_point(static_cast<double>(i + 1),
+                                 {row.ptr[0], row.ptr[1], row.ptr[2]});
+    fig.nhi_memory.add_point(static_cast<double>(i + 1),
+                             {row.nhi[0], row.nhi[1], row.nhi[2]});
   }
   return fig;
 }
@@ -121,22 +140,28 @@ SeriesTable FigureBuilder::fig5_total_power(fpga::SpeedGrade grade) const {
       "vn_count",
       {"NV model", "NV exp", "VS model", "VS exp", "VM80 model", "VM80 exp",
        "VM20 model", "VM20 exp"});
-  for (std::size_t k = 1; k <= options_.max_vn; ++k) {
-    std::vector<double> row;
-    const struct {
-      power::Scheme scheme;
-      double alpha;
-    } cases[] = {{power::Scheme::kNonVirtualized, 1.0},
-                 {power::Scheme::kSeparate, 1.0},
-                 {power::Scheme::kMerged, options_.alpha_high},
-                 {power::Scheme::kMerged, options_.alpha_low}};
-    for (const auto& c : cases) {
-      const ValidationPoint point =
-          validator_.validate(sweep_scenario(c.scheme, k, c.alpha, grade));
-      row.push_back(point.model.power.total_w());
-      row.push_back(point.experiment.power.total_w());
-    }
-    table.add_point(static_cast<double>(k), row);
+  const std::vector<std::vector<double>> rows =
+      runner_.map(options_.max_vn, [&](std::size_t i) {
+        const std::size_t k = i + 1;
+        std::vector<double> row;
+        const struct {
+          power::Scheme scheme;
+          double alpha;
+        } cases[] = {{power::Scheme::kNonVirtualized, 1.0},
+                     {power::Scheme::kSeparate, 1.0},
+                     {power::Scheme::kMerged, options_.alpha_high},
+                     {power::Scheme::kMerged, options_.alpha_low}};
+        for (const auto& c : cases) {
+          const Scenario s = sweep_scenario(c.scheme, k, c.alpha, grade);
+          const ValidationPoint point =
+              validator_.validate(s, *workload_for(s));
+          row.push_back(point.model.power.total_w());
+          row.push_back(point.experiment.power.total_w());
+        }
+        return row;
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_point(static_cast<double>(i + 1), rows[i]);
   }
   return table;
 }
@@ -147,20 +172,26 @@ SeriesTable FigureBuilder::fig6_virtualized_power(
       std::string("Fig. 6 - virtualized schemes total power vs #VNs, grade ") +
           fpga::to_string(grade) + " (W, experimental)",
       "vn_count", {"VS", "VM80", "VM20"});
-  for (std::size_t k = 1; k <= options_.max_vn; ++k) {
-    std::vector<double> row;
-    const struct {
-      power::Scheme scheme;
-      double alpha;
-    } cases[] = {{power::Scheme::kSeparate, 1.0},
-                 {power::Scheme::kMerged, options_.alpha_high},
-                 {power::Scheme::kMerged, options_.alpha_low}};
-    for (const auto& c : cases) {
-      const ValidationPoint point =
-          validator_.validate(sweep_scenario(c.scheme, k, c.alpha, grade));
-      row.push_back(point.experiment.power.total_w());
-    }
-    table.add_point(static_cast<double>(k), row);
+  const std::vector<std::vector<double>> rows =
+      runner_.map(options_.max_vn, [&](std::size_t i) {
+        const std::size_t k = i + 1;
+        std::vector<double> row;
+        const struct {
+          power::Scheme scheme;
+          double alpha;
+        } cases[] = {{power::Scheme::kSeparate, 1.0},
+                     {power::Scheme::kMerged, options_.alpha_high},
+                     {power::Scheme::kMerged, options_.alpha_low}};
+        for (const auto& c : cases) {
+          const Scenario s = sweep_scenario(c.scheme, k, c.alpha, grade);
+          const ValidationPoint point =
+              validator_.validate(s, *workload_for(s));
+          row.push_back(point.experiment.power.total_w());
+        }
+        return row;
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_point(static_cast<double>(i + 1), rows[i]);
   }
   return table;
 }
@@ -170,21 +201,27 @@ SeriesTable FigureBuilder::fig7_model_error(fpga::SpeedGrade grade) const {
       std::string("Fig. 7 - model percentage error vs #VNs, grade ") +
           fpga::to_string(grade) + " (%)",
       "vn_count", {"NV", "VS", "VM80", "VM20"});
-  for (std::size_t k = 1; k <= options_.max_vn; ++k) {
-    std::vector<double> row;
-    const struct {
-      power::Scheme scheme;
-      double alpha;
-    } cases[] = {{power::Scheme::kNonVirtualized, 1.0},
-                 {power::Scheme::kSeparate, 1.0},
-                 {power::Scheme::kMerged, options_.alpha_high},
-                 {power::Scheme::kMerged, options_.alpha_low}};
-    for (const auto& c : cases) {
-      const ValidationPoint point =
-          validator_.validate(sweep_scenario(c.scheme, k, c.alpha, grade));
-      row.push_back(point.error_total_pct);
-    }
-    table.add_point(static_cast<double>(k), row);
+  const std::vector<std::vector<double>> rows =
+      runner_.map(options_.max_vn, [&](std::size_t i) {
+        const std::size_t k = i + 1;
+        std::vector<double> row;
+        const struct {
+          power::Scheme scheme;
+          double alpha;
+        } cases[] = {{power::Scheme::kNonVirtualized, 1.0},
+                     {power::Scheme::kSeparate, 1.0},
+                     {power::Scheme::kMerged, options_.alpha_high},
+                     {power::Scheme::kMerged, options_.alpha_low}};
+        for (const auto& c : cases) {
+          const Scenario s = sweep_scenario(c.scheme, k, c.alpha, grade);
+          const ValidationPoint point =
+              validator_.validate(s, *workload_for(s));
+          row.push_back(point.error_total_pct);
+        }
+        return row;
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_point(static_cast<double>(i + 1), rows[i]);
   }
   return table;
 }
@@ -194,21 +231,27 @@ SeriesTable FigureBuilder::fig8_efficiency(fpga::SpeedGrade grade) const {
       std::string("Fig. 8 - power per unit throughput vs #VNs, grade ") +
           fpga::to_string(grade) + " (mW/Gbps, experimental)",
       "vn_count", {"NV", "VS", "VM80", "VM20"});
-  for (std::size_t k = 1; k <= options_.max_vn; ++k) {
-    std::vector<double> row;
-    const struct {
-      power::Scheme scheme;
-      double alpha;
-    } cases[] = {{power::Scheme::kNonVirtualized, 1.0},
-                 {power::Scheme::kSeparate, 1.0},
-                 {power::Scheme::kMerged, options_.alpha_high},
-                 {power::Scheme::kMerged, options_.alpha_low}};
-    for (const auto& c : cases) {
-      const ExperimentResult exp = validator_.runner().run(
-          sweep_scenario(c.scheme, k, c.alpha, grade));
-      row.push_back(exp.mw_per_gbps);
-    }
-    table.add_point(static_cast<double>(k), row);
+  const std::vector<std::vector<double>> rows =
+      runner_.map(options_.max_vn, [&](std::size_t i) {
+        const std::size_t k = i + 1;
+        std::vector<double> row;
+        const struct {
+          power::Scheme scheme;
+          double alpha;
+        } cases[] = {{power::Scheme::kNonVirtualized, 1.0},
+                     {power::Scheme::kSeparate, 1.0},
+                     {power::Scheme::kMerged, options_.alpha_high},
+                     {power::Scheme::kMerged, options_.alpha_low}};
+        for (const auto& c : cases) {
+          const Scenario s = sweep_scenario(c.scheme, k, c.alpha, grade);
+          const ExperimentResult exp =
+              validator_.runner().run(s, *workload_for(s));
+          row.push_back(exp.mw_per_gbps);
+        }
+        return row;
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_point(static_cast<double>(i + 1), rows[i]);
   }
   return table;
 }

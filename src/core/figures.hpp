@@ -4,10 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/table.hpp"
 #include "core/scenario.hpp"
+#include "core/sweep.hpp"
 #include "core/validator.hpp"
+#include "core/workload_cache.hpp"
 
 namespace vr::core {
 
@@ -22,6 +25,14 @@ struct FigureOptions {
   net::TableProfile table_profile = net::TableProfile::edge_default();
   MergedSource merged_source = MergedSource::kAnalyticAlpha;
   fpga::BramPolicy bram_policy = fpga::BramPolicy::kMixed;
+
+  /// Worker threads for the K sweeps (0 = default_sweep_threads(), i.e.
+  /// VR_THREADS or the hardware concurrency; 1 = serial). Output tables
+  /// are bit-identical for every thread count.
+  std::size_t threads = 0;
+  /// Reuse realized workloads through the process-global WorkloadCache.
+  /// Identical results either way; off only costs rebuild time.
+  bool use_cache = true;
 };
 
 class FigureBuilder {
@@ -77,9 +88,15 @@ class FigureBuilder {
                                         fpga::SpeedGrade grade) const;
 
  private:
+  /// Realized workload of a sweep point — through the global WorkloadCache
+  /// when options_.use_cache, freshly built otherwise.
+  [[nodiscard]] std::shared_ptr<const Workload> workload_for(
+      const Scenario& scenario) const;
+
   fpga::DeviceSpec device_;
   FigureOptions options_;
   ModelValidator validator_;
+  SweepRunner runner_;
 };
 
 }  // namespace vr::core

@@ -1,0 +1,21 @@
+#include "core/sweep.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace vr::core {
+
+std::size_t default_sweep_threads() {
+  if (const char* env = std::getenv("VR_THREADS")) {
+    try {
+      const long parsed = std::stol(env);
+      if (parsed >= 1) return static_cast<std::size_t>(parsed);
+    } catch (...) {
+      // Malformed values fall through to hardware concurrency.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace vr::core

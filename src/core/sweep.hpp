@@ -1,0 +1,94 @@
+// SweepRunner — the parallel sweep engine. Figure builders and the bench
+// binaries fan sweep points (scheme × K × α × speed grade) out across a
+// pool of std::threads. Work distribution is dynamic (threads claim the
+// next unclaimed index from a shared atomic counter, so long points do not
+// stall short ones), but results are stored by index, which makes the
+// output ordering — and therefore every rendered table — bit-identical to
+// a serial run regardless of the thread count.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace vr::core {
+
+/// Worker count used when a sweep does not pin one explicitly: the
+/// VR_THREADS environment variable when set to a positive integer, else
+/// std::thread::hardware_concurrency() (minimum 1).
+[[nodiscard]] std::size_t default_sweep_threads();
+
+class SweepRunner {
+ public:
+  /// `threads` = 0 picks default_sweep_threads().
+  explicit SweepRunner(std::size_t threads = 0)
+      : threads_(threads == 0 ? default_sweep_threads() : threads) {}
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return threads_; }
+
+  /// Evaluates fn(0) .. fn(count-1) across the pool and returns the
+  /// results in index order. fn must be invocable concurrently from
+  /// multiple threads; the first exception thrown is rethrown here after
+  /// all workers have stopped.
+  template <typename Fn>
+  [[nodiscard]] auto map(std::size_t count, Fn&& fn) const {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(!std::is_void_v<R>, "use for_each for void functions");
+    std::vector<std::optional<R>> slots(count);
+    run_indexed(count, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<R> out;
+    out.reserve(count);
+    for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// Runs fn(0) .. fn(count-1) across the pool (no results collected).
+  template <typename Fn>
+  void for_each(std::size_t count, Fn&& fn) const {
+    run_indexed(count, fn);
+  }
+
+ private:
+  template <typename Fn>
+  void run_indexed(std::size_t count, Fn&& fn) const {
+    const std::size_t workers = std::min(threads_, count);
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            const std::lock_guard<std::mutex> lock(error_mu);
+            if (!error) error = std::current_exception();
+          }
+          next.store(count, std::memory_order_relaxed);  // drain the queue
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  std::size_t threads_;
+};
+
+}  // namespace vr::core

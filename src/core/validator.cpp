@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/stats.hpp"
+#include "core/sweep.hpp"
 
 namespace vr::core {
 
@@ -14,9 +15,14 @@ ModelValidator::ModelValidator(fpga::DeviceSpec device,
       runner_(std::move(device), effects, freq_params) {}
 
 ValidationPoint ModelValidator::validate(const Scenario& scenario) const {
+  const Workload workload = realize_workload(scenario);
+  return validate(scenario, workload);
+}
+
+ValidationPoint ModelValidator::validate(const Scenario& scenario,
+                                         const Workload& workload) const {
   ValidationPoint point;
   point.scenario = scenario;
-  const Workload workload = realize_workload(scenario);
   point.model = estimator_.estimate(scenario, workload);
   point.experiment = runner_.run(scenario, workload);
   point.error_total_pct = percentage_error(
@@ -29,13 +35,11 @@ ValidationPoint ModelValidator::validate(const Scenario& scenario) const {
 }
 
 std::vector<ValidationPoint> ModelValidator::validate_all(
-    const std::vector<Scenario>& scenarios) const {
-  std::vector<ValidationPoint> points;
-  points.reserve(scenarios.size());
-  for (const Scenario& scenario : scenarios) {
-    points.push_back(validate(scenario));
-  }
-  return points;
+    const std::vector<Scenario>& scenarios, std::size_t threads) const {
+  const SweepRunner runner(threads);
+  return runner.map(scenarios.size(), [&](std::size_t i) {
+    return validate(scenarios[i]);
+  });
 }
 
 double ModelValidator::max_abs_error_pct(

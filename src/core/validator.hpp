@@ -29,9 +29,16 @@ class ModelValidator {
   /// Validates one scenario (realizing its workload once for both sides).
   [[nodiscard]] ValidationPoint validate(const Scenario& scenario) const;
 
-  /// Validates a grid of scenarios.
+  /// Validates against an already-realized workload (lets sweeps reuse the
+  /// expensive table builds, e.g. via WorkloadCache).
+  [[nodiscard]] ValidationPoint validate(const Scenario& scenario,
+                                         const Workload& workload) const;
+
+  /// Validates a grid of scenarios. `threads` fans the grid out over a
+  /// SweepRunner (1 = serial, 0 = default_sweep_threads()); the result
+  /// order always matches `scenarios`.
   [[nodiscard]] std::vector<ValidationPoint> validate_all(
-      const std::vector<Scenario>& scenarios) const;
+      const std::vector<Scenario>& scenarios, std::size_t threads = 1) const;
 
   /// Largest |total error| over a set of points.
   [[nodiscard]] static double max_abs_error_pct(

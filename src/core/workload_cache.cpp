@@ -1,0 +1,110 @@
+#include "core/workload_cache.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace vr::core {
+
+namespace {
+
+void append_double(std::string* out, double value) {
+  char buffer[48];
+  // Hexfloat round-trips exactly; "%a" output is locale-independent.
+  std::snprintf(buffer, sizeof buffer, "%a,", value);
+  *out += buffer;
+}
+
+void append_size(std::string* out, std::uint64_t value) {
+  *out += std::to_string(value);
+  *out += ',';
+}
+
+}  // namespace
+
+std::string WorkloadCache::key(const Scenario& scenario, bool keep_tables) {
+  std::string key;
+  key.reserve(160);
+  append_size(&key, static_cast<std::uint64_t>(scenario.scheme));
+  append_size(&key, scenario.vn_count);
+  append_size(&key, scenario.stages);
+  append_size(&key, scenario.seed);
+  append_double(&key, scenario.alpha);
+  append_size(&key, static_cast<std::uint64_t>(scenario.merged_source));
+  append_size(&key, static_cast<std::uint64_t>(scenario.merged_rule));
+  append_size(&key, scenario.leaf_push ? 1 : 0);
+  append_double(&key, scenario.table_size_spread);
+  append_size(&key, keep_tables ? 1 : 0);
+  const net::TableProfile& profile = scenario.table_profile;
+  append_size(&key, profile.prefix_count);
+  append_size(&key, profile.provider_blocks);
+  append_size(&key, profile.provider_block_length);
+  append_size(&key, profile.min_length);
+  append_size(&key, profile.density_span);
+  append_double(&key, profile.nested_fraction);
+  append_size(&key, profile.next_hop_count);
+  for (const double weight : profile.length_weights) {
+    append_double(&key, weight);
+  }
+  return key;
+}
+
+std::shared_ptr<const Workload> WorkloadCache::realize(
+    const Scenario& scenario, bool keep_tables) {
+  const std::string cache_key = key(scenario, keep_tables);
+  std::promise<std::shared_ptr<const Workload>> promise;
+  Entry entry;
+  bool builder = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(cache_key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      entry = it->second;
+    } else {
+      ++stats_.misses;
+      entry = promise.get_future().share();
+      entries_.emplace(cache_key, entry);
+      builder = true;
+    }
+  }
+  if (!builder) return entry.get();
+  try {
+    auto workload =
+        std::make_shared<const Workload>(realize_workload(scenario,
+                                                          keep_tables));
+    promise.set_value(workload);
+    return workload;
+  } catch (...) {
+    // Failed builds must not poison the cache permanently: propagate the
+    // exception to every waiter of this entry, then drop it.
+    promise.set_exception(std::current_exception());
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      entries_.erase(cache_key);
+    }
+    throw;
+  }
+}
+
+WorkloadCache::Stats WorkloadCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WorkloadCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+WorkloadCache& WorkloadCache::global() {
+  static WorkloadCache cache;
+  return cache;
+}
+
+std::shared_ptr<const Workload> realize_workload_cached(
+    const Scenario& scenario, bool keep_tables) {
+  return WorkloadCache::global().realize(scenario, keep_tables);
+}
+
+}  // namespace vr::core

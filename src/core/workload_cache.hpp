@@ -1,0 +1,72 @@
+// WorkloadCache — memoizes realized workloads (routing tables, unibit
+// tries, leaf pushing, merged tries) across sweep points. Figs. 4–8 and
+// the ablations revisit the same (seed, table profile, K, α, merged-source)
+// tuple dozens of times — once per speed grade, per figure, per estimator/
+// experiment pair — and trie realization dominates a sweep point's cost by
+// ~50×, so memoizing it is the difference between O(figures × K) and O(K)
+// trie builds per regeneration.
+//
+// Keying: the cache key is the exact subset of Scenario fields that
+// realize_workload() reads — (scheme, K, stages, seed, α, merged source,
+// merged rule, leaf_push, table_size_spread, the full table profile) plus
+// the keep_tables flag. Grade, operating frequency, BRAM policy and the
+// utilization vector do NOT enter workload realization and are deliberately
+// excluded, which is what lets the two speed-grade sweeps of every figure
+// share one realization. Doubles are rendered in hexfloat so the key is
+// exact.
+//
+// Concurrency: entries are shared_futures guarded by one mutex. The first
+// thread to request a key installs a promise and builds outside the lock;
+// concurrent requesters for the same key block on the future instead of
+// duplicating the build. Values are immutable shared_ptr<const Workload>.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/scenario.hpp"
+#include "core/workload.hpp"
+
+namespace vr::core {
+
+class WorkloadCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Returns the realized workload for `scenario`, building it at most
+  /// once per distinct key. Thread-safe.
+  [[nodiscard]] std::shared_ptr<const Workload> realize(
+      const Scenario& scenario, bool keep_tables = false);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops all entries and resets the counters.
+  void clear();
+
+  /// The cache key of a scenario (exposed for tests and diagnostics).
+  [[nodiscard]] static std::string key(const Scenario& scenario,
+                                       bool keep_tables);
+
+  /// Process-wide cache shared by the figure builders and bench binaries.
+  [[nodiscard]] static WorkloadCache& global();
+
+ private:
+  using Entry = std::shared_future<std::shared_ptr<const Workload>>;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+/// Realizes `scenario` via the process-global cache.
+[[nodiscard]] std::shared_ptr<const Workload> realize_workload_cached(
+    const Scenario& scenario, bool keep_tables = false);
+
+}  // namespace vr::core

@@ -22,13 +22,23 @@ LookupEngine::LookupEngine(TrieView trie, std::size_t stage_count)
                         " levels does not fit a " +
                         std::to_string(stage_count) + "-stage engine");
   }
+  // One trie level per stage means stage s inspects address bit s; a trie
+  // deeper than the address width would read past the last bit.
+  if (trie_.level_count() > kAddressBits + 1) {
+    throw CapacityError("trie of " + std::to_string(trie_.level_count()) +
+                        " levels exceeds the " +
+                        std::to_string(kAddressBits) +
+                        "-bit lookup address width");
+  }
   counters_.stage_busy.assign(stage_count, 0);
   counters_.stage_reads.assign(stage_count, 0);
 }
 
 bool LookupEngine::offer(const net::Packet& packet) {
-  if (input_.has_value()) return false;
+  // Validate before looking at the input slot so malformed packets are
+  // rejected even when the engine is busy.
   VR_REQUIRE(packet.vnid < trie_.vn_count(), "packet VNID out of range");
+  if (input_.has_value()) return false;
   input_ = packet;
   ++counters_.packets_in;
   return true;
@@ -65,16 +75,22 @@ void LookupEngine::tick(std::vector<LookupResult>* out) {
     Slot& slot = slots_[s];
     if (!slot.valid) continue;
     ++counters_.stage_busy[s];
-    Slot next = slot;
+    // Advance in place: do this stage's read/branch directly on the slot,
+    // then move it forward (no full copy-then-overwrite per stage).
     if (slot.node != trie::kNullNode) {
       ++counters_.stage_reads[s];
       const net::NextHop hop = trie_.next_hop(slot.node, slot.packet.vnid);
-      if (hop != net::kNoRoute) next.best = hop;
-      const bool bit = bit_at(slot.packet.addr.value(),
-                              static_cast<unsigned>(s));
-      next.node = bit ? trie_.right(slot.node) : trie_.left(slot.node);
+      if (hop != net::kNoRoute) slot.best = hop;
+      if (s < kAddressBits) {
+        const bool bit = bit_at(slot.packet.addr.value(),
+                                static_cast<unsigned>(s));
+        slot.node = bit ? trie_.right(slot.node) : trie_.left(slot.node);
+      } else {
+        // Address exhausted: a node this deep is necessarily a leaf.
+        slot.node = trie::kNullNode;
+      }
     }
-    slots_[s + 1] = next;
+    slots_[s + 1] = std::move(slot);
     slot.valid = false;
   }
   if (input_.has_value()) {

@@ -46,8 +46,14 @@ struct ActivityCounters {
 
 class LookupEngine {
  public:
+  /// Width of the lookup address in bits (IPv4). Because stage s inspects
+  /// address bit s, a trie may have at most kAddressBits + 1 levels; the
+  /// constructor rejects mismatched widths up front.
+  static constexpr std::size_t kAddressBits = 32;
+
   /// Builds an engine over a trie view with `stage_count` stages; the trie
-  /// must not be deeper than the pipeline (one level per stage).
+  /// must not be deeper than the pipeline (one level per stage) nor deeper
+  /// than the lookup address is wide.
   LookupEngine(TrieView trie, std::size_t stage_count);
 
   /// Offers a packet this cycle. Returns false if the input slot is

@@ -1,10 +1,14 @@
-// Non-owning adapter over the two trie flavours (per-VN uni-bit trie and
-// K-way merged trie) presenting the uniform node interface the pipeline
-// simulator traverses.
+// Adapter over the two trie flavours (per-VN uni-bit trie and K-way merged
+// trie) presenting the uniform node interface the pipeline simulator
+// traverses. Backed by the flat structure-of-arrays view (trie::FlatTrie),
+// so every per-cycle stage access is a direct contiguous-array read —
+// ownership of the arrays is shared, so a view outlives the trie object it
+// was made from.
 #pragma once
 
-#include <variant>
+#include <memory>
 
+#include "trie/flat_trie.hpp"
 #include "trie/unibit_trie.hpp"
 #include "virt/merged_trie.hpp"
 
@@ -12,52 +16,43 @@ namespace vr::pipeline {
 
 class TrieView {
  public:
-  explicit TrieView(const trie::UnibitTrie& t) noexcept : impl_(&t) {}
-  explicit TrieView(const virt::MergedTrie& t) noexcept : impl_(&t) {}
+  explicit TrieView(const trie::UnibitTrie& t) noexcept
+      : flat_(t.flat_shared()) {}
+  explicit TrieView(const virt::MergedTrie& t) noexcept
+      : flat_(t.flat_shared()) {}
 
-  [[nodiscard]] trie::NodeIndex left(trie::NodeIndex n) const {
-    return std::visit([n](const auto* t) { return node_of(*t, n).left; },
-                      impl_);
+  [[nodiscard]] trie::NodeIndex left(trie::NodeIndex n) const noexcept {
+    return flat_->left(n);
   }
-  [[nodiscard]] trie::NodeIndex right(trie::NodeIndex n) const {
-    return std::visit([n](const auto* t) { return node_of(*t, n).right; },
-                      impl_);
+  [[nodiscard]] trie::NodeIndex right(trie::NodeIndex n) const noexcept {
+    return flat_->right(n);
   }
 
   /// Next hop stored at node `n` for virtual network `vn` (kNoRoute when
   /// absent). Single tries ignore `vn`.
-  [[nodiscard]] net::NextHop next_hop(trie::NodeIndex n, net::VnId vn) const {
-    if (const auto* single = std::get_if<const trie::UnibitTrie*>(&impl_)) {
-      return (*single)->node(n).next_hop;
-    }
-    return std::get<const virt::MergedTrie*>(impl_)->next_hop(n, vn);
+  [[nodiscard]] net::NextHop next_hop(trie::NodeIndex n, net::VnId vn)
+      const noexcept {
+    return flat_->next_hop(n, flat_->vn_count() == 1 ? net::VnId{0} : vn);
   }
 
-  [[nodiscard]] std::size_t level_count() const {
-    return std::visit([](const auto* t) { return t->level_count(); }, impl_);
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return flat_->level_count();
   }
 
-  [[nodiscard]] std::size_t node_count() const {
-    return std::visit([](const auto* t) { return t->node_count(); }, impl_);
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return flat_->node_count();
   }
 
   /// Number of virtual networks the view serves (1 for a single trie).
-  [[nodiscard]] std::size_t vn_count() const {
-    if (std::holds_alternative<const trie::UnibitTrie*>(impl_)) return 1;
-    return std::get<const virt::MergedTrie*>(impl_)->vn_count();
+  [[nodiscard]] std::size_t vn_count() const noexcept {
+    return flat_->vn_count();
   }
+
+  /// The underlying flat SoA trie (batched lookups etc.).
+  [[nodiscard]] const trie::FlatTrie& flat() const noexcept { return *flat_; }
 
  private:
-  static const trie::TrieNode& node_of(const trie::UnibitTrie& t,
-                                       trie::NodeIndex n) {
-    return t.node(n);
-  }
-  static const virt::MergedNode& node_of(const virt::MergedTrie& t,
-                                         trie::NodeIndex n) {
-    return t.nodes()[n];
-  }
-
-  std::variant<const trie::UnibitTrie*, const virt::MergedTrie*> impl_;
+  std::shared_ptr<const trie::FlatTrie> flat_;
 };
 
 }  // namespace vr::pipeline

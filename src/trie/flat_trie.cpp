@@ -1,0 +1,78 @@
+#include "trie/flat_trie.hpp"
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace vr::trie {
+
+FlatTrie::FlatTrie(const UnibitTrie& trie) : level_count_(trie.level_count()) {
+  const std::span<const TrieNode> nodes = trie.nodes();
+  left_.reserve(nodes.size());
+  right_.reserve(nodes.size());
+  next_hops_.reserve(nodes.size());
+  for (const TrieNode& node : nodes) {
+    left_.push_back(node.left);
+    right_.push_back(node.right);
+    next_hops_.push_back(node.next_hop);
+  }
+}
+
+FlatTrie::FlatTrie(std::vector<NodeIndex> left, std::vector<NodeIndex> right,
+                   std::vector<net::NextHop> next_hops, std::size_t vn_count,
+                   std::size_t level_count)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      next_hops_(std::move(next_hops)),
+      vn_count_(vn_count),
+      level_count_(level_count) {
+  VR_REQUIRE(vn_count_ >= 1, "flat trie needs at least one VN");
+  VR_REQUIRE(left_.size() == right_.size(), "left/right arrays must align");
+  VR_REQUIRE(next_hops_.size() == left_.size() * vn_count_,
+             "next-hop pool must hold vn_count entries per node");
+  VR_REQUIRE(!left_.empty(), "flat trie needs at least the root node");
+}
+
+net::NextHop FlatTrie::lookup_raw(std::uint32_t addr,
+                                  net::VnId vn) const noexcept {
+  net::NextHop best = net::kNoRoute;
+  NodeIndex current = 0;
+  for (unsigned depth = 0;; ++depth) {
+    const net::NextHop hop = next_hop(current, vn);
+    if (hop != net::kNoRoute) best = hop;
+    if (depth >= 32) break;
+    const NodeIndex child = bit_at(addr, depth) ? right_[current]
+                                                : left_[current];
+    if (child == kNullNode) break;
+    current = child;
+  }
+  return best;
+}
+
+std::optional<net::NextHop> FlatTrie::lookup(net::Ipv4 addr,
+                                             net::VnId vn) const {
+  const net::NextHop hop = lookup_raw(addr.value(), vn);
+  return hop == net::kNoRoute ? std::nullopt
+                              : std::optional<net::NextHop>(hop);
+}
+
+std::vector<net::NextHop> FlatTrie::lookup_batch(
+    std::span<const net::Ipv4> addrs, net::VnId vn) const {
+  std::vector<net::NextHop> out;
+  out.reserve(addrs.size());
+  for (const net::Ipv4 addr : addrs) {
+    out.push_back(lookup_raw(addr.value(), vn));
+  }
+  return out;
+}
+
+std::vector<net::NextHop> FlatTrie::lookup_batch(
+    std::span<const net::Packet> packets) const {
+  std::vector<net::NextHop> out;
+  out.reserve(packets.size());
+  for (const net::Packet& packet : packets) {
+    out.push_back(lookup_raw(packet.addr.value(), packet.vnid));
+  }
+  return out;
+}
+
+}  // namespace vr::trie

@@ -1,0 +1,80 @@
+// Flat structure-of-arrays trie view — the lookup hot path. The pointer
+// (left/right) and next-hop-information arrays are stored contiguously and
+// index-aligned with the source trie's breadth-first node order, so a
+// traversal touches three dense arrays instead of chasing a
+// pointer-per-node layout. Built once from a UnibitTrie (K = 1) or a
+// K-way merged trie (K-wide next-hop pool, node-major) and shared by every
+// consumer of the trie: `UnibitTrie::lookup`, the pipeline simulator's
+// `TrieView` and the batched dataplane lookup API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/traffic.hpp"
+#include "trie/unibit_trie.hpp"
+
+namespace vr::trie {
+
+class FlatTrie {
+ public:
+  /// Flattens a uni-bit trie (vn_count = 1; one next hop per node).
+  explicit FlatTrie(const UnibitTrie& trie);
+
+  /// Assembles a view from raw arrays (used by the merged-trie flattener).
+  /// `next_hops` is node-major with `vn_count` entries per node;
+  /// `level_count` must match the source trie's.
+  FlatTrie(std::vector<NodeIndex> left, std::vector<NodeIndex> right,
+           std::vector<net::NextHop> next_hops, std::size_t vn_count,
+           std::size_t level_count);
+
+  [[nodiscard]] NodeIndex left(NodeIndex n) const noexcept {
+    return left_[n];
+  }
+  [[nodiscard]] NodeIndex right(NodeIndex n) const noexcept {
+    return right_[n];
+  }
+  /// Next hop stored at node `n` for virtual network `vn` (kNoRoute when
+  /// absent). Single-trie views only have vn = 0.
+  [[nodiscard]] net::NextHop next_hop(NodeIndex n, net::VnId vn = 0)
+      const noexcept {
+    return next_hops_[static_cast<std::size_t>(n) * vn_count_ + vn];
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return left_.size();
+  }
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return level_count_;
+  }
+  [[nodiscard]] std::size_t vn_count() const noexcept { return vn_count_; }
+
+  /// Longest-prefix match for virtual network `vn`; nullopt when no route
+  /// covers `addr`. Identical results to the source trie's lookup.
+  [[nodiscard]] std::optional<net::NextHop> lookup(net::Ipv4 addr,
+                                                   net::VnId vn = 0) const;
+
+  /// Batched longest-prefix match: one result per address, kNoRoute where
+  /// no route covers it. The batch form amortizes the per-call overhead
+  /// for the dataplane simulator's bulk lookups.
+  [[nodiscard]] std::vector<net::NextHop> lookup_batch(
+      std::span<const net::Ipv4> addrs, net::VnId vn = 0) const;
+
+  /// Batched lookup of VNID-tagged packets (merged-trie dataplane path).
+  [[nodiscard]] std::vector<net::NextHop> lookup_batch(
+      std::span<const net::Packet> packets) const;
+
+ private:
+  [[nodiscard]] net::NextHop lookup_raw(std::uint32_t addr,
+                                        net::VnId vn) const noexcept;
+
+  std::vector<NodeIndex> left_;
+  std::vector<NodeIndex> right_;
+  std::vector<net::NextHop> next_hops_;  // node-major, vn_count_ per node
+  std::size_t vn_count_ = 1;
+  std::size_t level_count_ = 1;
+};
+
+}  // namespace vr::trie

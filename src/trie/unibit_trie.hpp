@@ -3,7 +3,9 @@
 // pipeline stage, NHI stored at leaves after leaf pushing.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -11,6 +13,8 @@
 #include "netbase/routing_table.hpp"
 
 namespace vr::trie {
+
+class FlatTrie;
 
 /// Index of a node inside a trie's node vector.
 using NodeIndex = std::uint32_t;
@@ -43,8 +47,23 @@ class UnibitTrie {
   explicit UnibitTrie(const net::RoutingTable& table);
 
   /// Longest-prefix match: next hop of the most specific route covering
-  /// `addr`, or nullopt.
+  /// `addr`, or nullopt. Runs on the flat SoA view.
   [[nodiscard]] std::optional<net::NextHop> lookup(net::Ipv4 addr) const;
+
+  /// Batched longest-prefix match: one entry per address, net::kNoRoute
+  /// where no route covers it.
+  [[nodiscard]] std::vector<net::NextHop> lookup_batch(
+      std::span<const net::Ipv4> addrs) const;
+
+  /// The flat structure-of-arrays view of this trie (always present;
+  /// rebuilt whenever the node vector is canonicalized).
+  [[nodiscard]] const FlatTrie& flat() const noexcept { return *flat_; }
+
+  /// Shares ownership of the flat view (pipeline TrieViews keep the
+  /// arrays alive independently of this trie object).
+  [[nodiscard]] std::shared_ptr<const FlatTrie> flat_shared() const noexcept {
+    return flat_;
+  }
 
   /// Returns the leaf-pushed version of this trie: internal prefixes are
   /// pushed down so that (a) every internal node has exactly two children
@@ -67,12 +86,19 @@ class UnibitTrie {
   [[nodiscard]] NodeIndex root() const noexcept { return 0; }
 
   /// Depth of the deepest node; the empty-table trie has height 0.
+  ///
+  /// Invariant: after construction `level_offsets_` always has >= 2
+  /// entries ({0, 1} for the root-only trie of an empty table), so the
+  /// subtractions here and in level_count() cannot underflow. The assert
+  /// guards against uses of a moved-from trie.
   [[nodiscard]] unsigned height() const noexcept {
+    assert(level_offsets_.size() >= 2 && "trie has no levels (moved-from?)");
     return static_cast<unsigned>(level_offsets_.size() - 2);
   }
 
   /// Number of levels (height + 1).
   [[nodiscard]] std::size_t level_count() const noexcept {
+    assert(level_offsets_.size() >= 2 && "trie has no levels (moved-from?)");
     return level_offsets_.size() - 1;
   }
 
@@ -91,12 +117,13 @@ class UnibitTrie {
  private:
   UnibitTrie() = default;
 
-  /// Re-canonicalizes `nodes_` into breadth-first order and rebuilds
-  /// level_offsets_.
+  /// Re-canonicalizes `nodes_` into breadth-first order, rebuilds
+  /// level_offsets_ and refreshes the flat SoA view.
   void canonicalize();
 
   std::vector<TrieNode> nodes_;
   std::vector<std::size_t> level_offsets_;  // size level_count()+1
+  std::shared_ptr<const FlatTrie> flat_;    // always set after construction
   bool leaf_pushed_ = false;
 };
 

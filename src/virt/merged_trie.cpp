@@ -28,6 +28,7 @@ MergedTrie::MergedTrie(std::span<const trie::UnibitTrie* const> tries)
   // Breadth-first simultaneous walk of all K tries. A frame carries, for
   // each input trie, the index of its node at the current merged position
   // (kNullNode when that trie has no node here).
+  std::vector<net::NextHop> next_hops;  // node-major, K entries per node
   struct Frame {
     std::vector<trie::NodeIndex> srcs;
   };
@@ -59,7 +60,7 @@ MergedTrie::MergedTrie(std::span<const trie::UnibitTrie* const> tries)
           any_left = any_left || n.left != trie::kNullNode;
           any_right = any_right || n.right != trie::kNullNode;
         }
-        next_hops_.push_back(hop);
+        next_hops.push_back(hop);
       }
       node.present_in = present;
 
@@ -100,24 +101,24 @@ MergedTrie::MergedTrie(std::span<const trie::UnibitTrie* const> tries)
     level_offsets_.push_back(nodes_.size());
   }
   stats_.merged_nodes = nodes_.size();
+
+  std::vector<trie::NodeIndex> left;
+  std::vector<trie::NodeIndex> right;
+  left.reserve(nodes_.size());
+  right.reserve(nodes_.size());
+  for (const MergedNode& node : nodes_) {
+    left.push_back(node.left);
+    right.push_back(node.right);
+  }
+  flat_ = std::make_shared<const trie::FlatTrie>(
+      std::move(left), std::move(right), std::move(next_hops), vn_count_,
+      level_count());
 }
 
 std::optional<net::NextHop> MergedTrie::lookup(net::Ipv4 addr,
                                                net::VnId vn) const {
   VR_REQUIRE(vn < vn_count_, "VNID out of range");
-  std::optional<net::NextHop> best;
-  trie::NodeIndex current = 0;
-  for (unsigned depth = 0;; ++depth) {
-    const MergedNode& node = nodes_[current];
-    const net::NextHop hop = next_hop(current, vn);
-    if (hop != net::kNoRoute) best = hop;
-    if (depth >= 32) break;
-    const trie::NodeIndex child =
-        bit_at(addr.value(), depth) ? node.right : node.left;
-    if (child == trie::kNullNode) break;
-    current = child;
-  }
-  return best;
+  return flat_->lookup(addr, vn);
 }
 
 std::span<const MergedNode> MergedTrie::level(std::size_t l) const {

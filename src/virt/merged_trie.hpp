@@ -4,12 +4,15 @@
 // a K-wide next-hop vector indexed by the virtual-network identifier (VNID).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "netbase/traffic.hpp"
+#include "trie/flat_trie.hpp"
 #include "trie/trie_stats.hpp"
 #include "trie/unibit_trie.hpp"
 
@@ -69,22 +72,41 @@ class MergedTrie {
   }
 
   /// Next hop of node `node` for virtual network `vn` (kNoRoute if the VN
-  /// has no route at this node).
+  /// has no route at this node). The K-wide NHI pool lives in the flat
+  /// SoA view.
   [[nodiscard]] net::NextHop next_hop(trie::NodeIndex node, net::VnId vn)
       const {
-    return next_hops_[static_cast<std::size_t>(node) * vn_count_ + vn];
+    return flat_->next_hop(node, vn);
   }
 
   /// Longest-prefix match for a packet of virtual network `vn`.
   [[nodiscard]] std::optional<net::NextHop> lookup(net::Ipv4 addr,
                                                    net::VnId vn) const;
 
+  /// Batched longest-prefix match of VNID-tagged packets.
+  [[nodiscard]] std::vector<net::NextHop> lookup_batch(
+      std::span<const net::Packet> packets) const {
+    return flat_->lookup_batch(packets);
+  }
+
+  /// The flat structure-of-arrays view (lookup hot path).
+  [[nodiscard]] const trie::FlatTrie& flat() const noexcept { return *flat_; }
+  [[nodiscard]] std::shared_ptr<const trie::FlatTrie> flat_shared()
+      const noexcept {
+    return flat_;
+  }
+
   [[nodiscard]] const MergeStats& stats() const noexcept { return stats_; }
 
+  /// Invariant: level_offsets_ always has >= 2 entries after construction
+  /// (K >= 1 inputs each contribute at least a root), so these cannot
+  /// underflow. The asserts guard moved-from objects.
   [[nodiscard]] unsigned height() const noexcept {
+    assert(level_offsets_.size() >= 2 && "merged trie has no levels");
     return static_cast<unsigned>(level_offsets_.size() - 2);
   }
   [[nodiscard]] std::size_t level_count() const noexcept {
+    assert(level_offsets_.size() >= 2 && "merged trie has no levels");
     return level_offsets_.size() - 1;
   }
   [[nodiscard]] std::span<const std::size_t> level_offsets() const noexcept {
@@ -100,8 +122,9 @@ class MergedTrie {
  private:
   std::size_t vn_count_;
   std::vector<MergedNode> nodes_;
-  std::vector<net::NextHop> next_hops_;  // node-major, K entries per node
   std::vector<std::size_t> level_offsets_;
+  /// Flat SoA view owning the node-major K-wide next-hop pool.
+  std::shared_ptr<const trie::FlatTrie> flat_;
   MergeStats stats_;
 };
 

@@ -155,6 +155,37 @@ TEST(LookupEngineTest, BusyFractionTracksOfferedLoad) {
   EXPECT_NEAR(engine.activity().mean_stage_utilization(), load, 0.03);
 }
 
+TEST(LookupEngineTest, BackpressureAndDrainUnderBurst) {
+  const RoutingTable table = gen_table(11);
+  const UnibitTrie trie(table);
+  LookupEngine engine{TrieView(trie), kStages};
+  std::vector<LookupResult> out;
+  // Saturate: the single input slot accepts exactly one packet per tick and
+  // backpressures everything else offered in the same cycle.
+  for (std::size_t c = 0; c < 40; ++c) {
+    ASSERT_TRUE(
+        engine.offer(Packet{Ipv4(10, 0, 0, static_cast<std::uint8_t>(c)), 0}));
+    EXPECT_FALSE(engine.offer(Packet{Ipv4(10, 0, 0, 99), 0}));
+    EXPECT_FALSE(engine.drained());
+    engine.tick(&out);
+  }
+  // Stop offering; the pipe must fully drain within the pipeline depth and
+  // deliver every accepted packet exactly once.
+  for (std::size_t c = 0; c < kStages; ++c) engine.tick(&out);
+  EXPECT_TRUE(engine.drained());
+  EXPECT_EQ(out.size(), 40u);
+}
+
+TEST(LookupEngineTest, MalformedVnidRejectedEvenWhenBusy) {
+  const RoutingTable table = gen_table(12);
+  const UnibitTrie trie(table);
+  LookupEngine engine{TrieView(trie), kStages};
+  // Fill the input slot so the engine is busy, then offer an out-of-range
+  // VNID: validation must fire before the busy check.
+  ASSERT_TRUE(engine.offer(Packet{Ipv4(1, 1, 1, 1), 0}));
+  EXPECT_DEATH((void)engine.offer(Packet{Ipv4(2, 2, 2, 2), 5}), "VNID");
+}
+
 TEST(LookupEngineTest, VnidValidatedAgainstTrie) {
   const RoutingTable table = gen_table(9);
   const UnibitTrie trie(table);

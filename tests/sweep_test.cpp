@@ -1,0 +1,199 @@
+// SweepRunner + WorkloadCache: the determinism contract (parallel sweeps
+// and cache hits must be indistinguishable from serial cold builds) and
+// the mechanics behind it (index-ordered results, exception propagation,
+// key scheme, build-once semantics).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/figures.hpp"
+#include "core/sweep.hpp"
+#include "core/workload.hpp"
+#include "core/workload_cache.hpp"
+
+namespace vr::core {
+namespace {
+
+// ------------------------------------------------------------ SweepRunner --
+
+TEST(SweepRunnerTest, MapReturnsResultsInIndexOrder) {
+  const SweepRunner runner(4);
+  const std::vector<std::size_t> out =
+      runner.map(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(SweepRunnerTest, ZeroAndSingleCounts) {
+  const SweepRunner runner(4);
+  EXPECT_TRUE(runner.map(0, [](std::size_t i) { return i; }).empty());
+  const std::vector<std::size_t> one =
+      runner.map(1, [](std::size_t i) { return i + 7; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 7u);
+}
+
+TEST(SweepRunnerTest, ForEachVisitsEveryIndexExactlyOnce) {
+  const SweepRunner runner(4);
+  std::vector<std::atomic<int>> visits(64);
+  runner.for_each(64, [&](std::size_t i) { ++visits[i]; });
+  for (const std::atomic<int>& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(SweepRunnerTest, ExceptionPropagatesAfterJoin) {
+  const SweepRunner runner(4);
+  EXPECT_THROW(runner.for_each(32,
+                               [](std::size_t i) {
+                                 if (i == 13) {
+                                   throw std::runtime_error("boom");
+                                 }
+                               }),
+               std::runtime_error);
+}
+
+TEST(SweepRunnerTest, ThreadCountIsAtLeastOne) {
+  EXPECT_GE(SweepRunner(0).thread_count(), 1u);
+  EXPECT_EQ(SweepRunner(1).thread_count(), 1u);
+  EXPECT_EQ(SweepRunner(6).thread_count(), 6u);
+  EXPECT_GE(default_sweep_threads(), 1u);
+}
+
+// ---------------------------------------------------------- WorkloadCache --
+
+Scenario small_scenario() {
+  Scenario s;
+  s.table_profile.prefix_count = 400;
+  s.vn_count = 3;
+  s.scheme = power::Scheme::kMerged;
+  return s;
+}
+
+TEST(WorkloadCacheTest, HitEqualsColdBuild) {
+  const Scenario s = small_scenario();
+  const Workload cold = realize_workload(s);
+
+  WorkloadCache cache;
+  const std::shared_ptr<const Workload> first = cache.realize(s);
+  const std::shared_ptr<const Workload> second = cache.realize(s);
+
+  // Second realize is a hit and returns the very same immutable object.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // And the cached workload is indistinguishable from a fresh build.
+  EXPECT_EQ(first->prefix_count, cold.prefix_count);
+  EXPECT_DOUBLE_EQ(first->alpha_used, cold.alpha_used);
+  EXPECT_EQ(first->representative_stats.total_nodes,
+            cold.representative_stats.total_nodes);
+  EXPECT_EQ(first->per_vn_engine.stage_bits, cold.per_vn_engine.stage_bits);
+  EXPECT_EQ(first->merged_engine.stage_bits, cold.merged_engine.stage_bits);
+}
+
+TEST(WorkloadCacheTest, ClearResetsEntriesAndStats) {
+  const Scenario s = small_scenario();
+  WorkloadCache cache;
+  (void)cache.realize(s);
+  (void)cache.realize(s);
+  cache.clear();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  (void)cache.realize(s);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(WorkloadCacheTest, KeyIgnoresFieldsRealizationNeverReads) {
+  Scenario a = small_scenario();
+  Scenario b = a;
+  // Grade, frequency, BRAM policy: power-model inputs, not workload inputs.
+  b.grade = fpga::SpeedGrade::kMinus1L;
+  b.freq_mhz = 250.0;
+  b.bram_policy = fpga::BramPolicy::k18Only;
+  EXPECT_EQ(WorkloadCache::key(a, false), WorkloadCache::key(b, false));
+}
+
+TEST(WorkloadCacheTest, KeySeparatesFieldsRealizationReads) {
+  const Scenario base = small_scenario();
+  const std::string k0 = WorkloadCache::key(base, false);
+
+  Scenario seed = base;
+  seed.seed = 99;
+  Scenario vns = base;
+  vns.vn_count = 9;
+  Scenario alpha = base;
+  alpha.alpha = 0.21;
+  Scenario scheme = base;
+  scheme.scheme = power::Scheme::kSeparate;
+  Scenario profile = base;
+  profile.table_profile.prefix_count = 401;
+
+  EXPECT_NE(WorkloadCache::key(seed, false), k0);
+  EXPECT_NE(WorkloadCache::key(vns, false), k0);
+  EXPECT_NE(WorkloadCache::key(alpha, false), k0);
+  EXPECT_NE(WorkloadCache::key(scheme, false), k0);
+  EXPECT_NE(WorkloadCache::key(profile, false), k0);
+  EXPECT_NE(WorkloadCache::key(base, true), k0);  // keep_tables in the key
+}
+
+TEST(WorkloadCacheTest, ConcurrentRealizeBuildsOnce) {
+  const Scenario s = small_scenario();
+  WorkloadCache cache;
+  const SweepRunner runner(8);
+  const std::vector<const Workload*> ptrs =
+      runner.map(16, [&](std::size_t) -> const Workload* {
+        return cache.realize(s).get();
+      });
+  for (const Workload* p : ptrs) {
+    EXPECT_EQ(p, ptrs.front());
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 15u);
+}
+
+// ------------------------------------------------- sweep determinism e2e --
+
+std::string render_figures(const FigureOptions& options) {
+  const FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(), options);
+  std::ostringstream os;
+  const FigureBuilder::Fig4 fig4 = builder.fig4_memory();
+  fig4.pointer_memory.render_csv(os);
+  fig4.nhi_memory.render_csv(os);
+  builder.fig5_total_power(fpga::SpeedGrade::kMinus2).render_csv(os);
+  builder.fig7_model_error(fpga::SpeedGrade::kMinus1L).render_csv(os);
+  builder.fig8_efficiency(fpga::SpeedGrade::kMinus2).render_csv(os);
+  return os.str();
+}
+
+TEST(SweepDeterminismTest, ParallelCachedOutputMatchesSerialByteForByte) {
+  FigureOptions small;
+  small.table_profile.prefix_count = 400;
+  small.max_vn = 6;
+  small.memory_max_vn = 8;
+
+  FigureOptions serial = small;
+  serial.threads = 1;
+  serial.use_cache = false;
+
+  FigureOptions parallel = small;
+  parallel.threads = 4;
+  parallel.use_cache = true;
+
+  WorkloadCache::global().clear();
+  const std::string serial_csv = render_figures(serial);
+  WorkloadCache::global().clear();
+  const std::string parallel_cold_csv = render_figures(parallel);
+  const std::string parallel_warm_csv = render_figures(parallel);
+
+  EXPECT_EQ(serial_csv, parallel_cold_csv);
+  EXPECT_EQ(serial_csv, parallel_warm_csv);
+  EXPECT_GT(WorkloadCache::global().stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace vr::core

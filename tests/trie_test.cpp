@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "netbase/table_gen.hpp"
+#include "trie/flat_trie.hpp"
 #include "trie/memory_layout.hpp"
 #include "trie/stage_mapping.hpp"
 #include "trie/trie_stats.hpp"
@@ -355,6 +356,67 @@ TEST(MemoryLayoutTest, VnCountScalesOnlyLeaves) {
   const StageMemory eight = stage_memory(occ, enc, 8);
   EXPECT_EQ(one.total_pointer_bits(), eight.total_pointer_bits());
   EXPECT_EQ(eight.total_nhi_bits(), 8 * one.total_nhi_bits());
+}
+
+// ---------------------------------------------------------- flat SoA view --
+
+TEST(FlatTrieTest, EmptyTableFlatViewIsRootOnly) {
+  const UnibitTrie trie((RoutingTable()));
+  const FlatTrie& flat = trie.flat();
+  EXPECT_EQ(flat.node_count(), 1u);
+  EXPECT_EQ(flat.level_count(), 1u);
+  EXPECT_EQ(flat.vn_count(), 1u);
+  EXPECT_EQ(flat.left(0), kNullNode);
+  EXPECT_EQ(flat.right(0), kNullNode);
+  EXPECT_EQ(flat.lookup(Ipv4(1, 2, 3, 4)), std::nullopt);
+}
+
+TEST(FlatTrieTest, MirrorsSourceTrieNodeForNode) {
+  const net::SyntheticTableGenerator gen(net::TableProfile::edge_default());
+  const UnibitTrie trie(gen.generate(3));
+  const FlatTrie& flat = trie.flat();
+  const std::span<const TrieNode> nodes = trie.nodes();
+  ASSERT_EQ(flat.node_count(), nodes.size());
+  EXPECT_EQ(flat.level_count(), trie.level_count());
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const NodeIndex idx = static_cast<NodeIndex>(n);
+    EXPECT_EQ(flat.left(idx), nodes[n].left);
+    EXPECT_EQ(flat.right(idx), nodes[n].right);
+    EXPECT_EQ(flat.next_hop(idx), nodes[n].next_hop);
+  }
+}
+
+TEST(FlatTrieTest, LookupMatchesRoutingTableReference) {
+  // The routing table's linear longest-prefix match is an independent
+  // reference implementation for the flat traversal.
+  const net::SyntheticTableGenerator gen(net::TableProfile::edge_default());
+  const RoutingTable table = gen.generate(4);
+  const UnibitTrie trie(table);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const Ipv4 addr(static_cast<std::uint32_t>(rng.next_u64()));
+    EXPECT_EQ(trie.flat().lookup(addr), table.lookup(addr));
+  }
+}
+
+TEST(FlatTrieTest, BatchMatchesScalarLoop) {
+  const net::SyntheticTableGenerator gen(net::TableProfile::edge_default());
+  const UnibitTrie trie = UnibitTrie(gen.generate(5)).leaf_pushed();
+  Rng rng(12);
+  std::vector<Ipv4> addrs;
+  for (int i = 0; i < 4096; ++i) {
+    addrs.emplace_back(static_cast<std::uint32_t>(rng.next_u64()));
+  }
+  const std::vector<net::NextHop> batch = trie.lookup_batch(addrs);
+  ASSERT_EQ(batch.size(), addrs.size());
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    const std::optional<net::NextHop> scalar = trie.lookup(addrs[i]);
+    if (scalar.has_value()) {
+      EXPECT_EQ(batch[i], *scalar);
+    } else {
+      EXPECT_EQ(batch[i], net::kNoRoute);
+    }
+  }
 }
 
 }  // namespace

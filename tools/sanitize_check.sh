@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the full tree with AddressSanitizer + UndefinedBehaviorSanitizer
+# and runs the tier-1 ctest suite under it. The thread-pool (SweepRunner),
+# shared-cache (WorkloadCache) and flat-trie hot-path code must stay clean.
+#
+# Usage: tools/sanitize_check.sh [build-dir] [ctest-regex]
+#   build-dir    defaults to build-sanitize
+#   ctest-regex  optional -R filter (default: everything)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-sanitize}"
+ctest_filter="${2:-}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVR_SANITIZE=address,undefined
+cmake --build "${build_dir}" -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+cd "${build_dir}"
+if [[ -n "${ctest_filter}" ]]; then
+  ctest --output-on-failure -R "${ctest_filter}"
+else
+  ctest --output-on-failure
+fi
+echo "sanitize_check: all tests clean under ASan/UBSan"
