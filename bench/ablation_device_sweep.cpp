@@ -26,9 +26,9 @@ int main() {
           const core::Estimate est = estimator.estimate(s);
           out.add_row({device.name, fpga::to_string(grade),
                        scheme == power::Scheme::kSeparate ? "VS" : "VM80",
-                       TextTable::num(est.power.total_w(), 2),
-                       TextTable::num(est.throughput_gbps, 0),
-                       TextTable::num(est.mw_per_gbps, 2),
+                       TextTable::num(est.power.total_w().value(), 2),
+                       TextTable::num(est.throughput_gbps.value(), 0),
+                       TextTable::num(est.mw_per_gbps.value(), 2),
                        std::to_string(max_vs),
                        est.fit.fits ? "yes" : "NO"});
         } catch (const CapacityError& e) {

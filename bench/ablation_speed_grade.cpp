@@ -25,10 +25,10 @@ int main() {
     const core::Estimate lo = validator.estimator().estimate(s);
     table.add_point(
         static_cast<double>(k),
-        {hi.power.total_w(), lo.power.total_w(),
+        {hi.power.total_w().value(), lo.power.total_w().value(),
          (1.0 - lo.power.total_w() / hi.power.total_w()) * 100.0,
-         hi.throughput_gbps, lo.throughput_gbps, hi.mw_per_gbps,
-         lo.mw_per_gbps});
+         hi.throughput_gbps.value(), lo.throughput_gbps.value(),
+         hi.mw_per_gbps.value(), lo.mw_per_gbps.value()});
   }
   vr::bench::emit(table);
   return 0;

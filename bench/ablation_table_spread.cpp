@@ -26,8 +26,8 @@ int main() {
     const core::ValidationPoint nv_point = validator.validate(nv);
     const core::ValidationPoint vs_point = validator.validate(vs);
     out.add_point(spread * 100.0,
-                  {nv_point.model.power.total_w(),
-                   vs_point.model.power.total_w(),
+                  {nv_point.model.power.total_w().value(),
+                   vs_point.model.power.total_w().value(),
                    nv_point.model.power.total_w() /
                        vs_point.model.power.total_w(),
                    vs_point.error_total_pct, nv_point.error_total_pct});

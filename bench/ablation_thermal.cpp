@@ -30,18 +30,18 @@ int main() {
       const core::Estimate est = estimator.estimate(s);
       // Per-device powers: NV devices are identical; VS/VM use one device.
       const double devices = static_cast<double>(est.power.devices);
-      const double static_per_device = est.power.static_w / devices;
-      const double dynamic_per_device = est.power.dynamic_w() / devices;
+      const double static_per_device = est.power.static_w.value() / devices;
+      const double dynamic_per_device = est.power.dynamic_w().value() / devices;
       const fpga::ThermalOperatingPoint point =
           fpga::solve_thermal(static_per_device, dynamic_per_device);
       const double settled_total = point.total_w * devices;
       out.add_row(
           {power::to_string(scheme), std::to_string(k),
-           TextTable::num(est.power.total_w(), 2),
+           TextTable::num(est.power.total_w().value(), 2),
            TextTable::num(point.t_junction_c, 1),
            TextTable::num(settled_total, 2),
            TextTable::num(
-               (settled_total / est.power.total_w() - 1.0) * 100.0, 1),
+               (settled_total / est.power.total_w().value() - 1.0) * 100.0, 1),
            point.within_limits ? "yes" : "NO"});
     }
   }

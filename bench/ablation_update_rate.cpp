@@ -12,7 +12,7 @@
 
 int main() {
   using namespace vr;
-  constexpr double kFreqMhz = 350.0;
+  constexpr units::Megahertz kFreq{350.0};
 
   const net::SyntheticTableGenerator gen(net::TableProfile::edge_default());
   const net::RoutingTable base = gen.generate(1);
@@ -39,7 +39,7 @@ int main() {
   }
   const double bram_w =
       fpga::plan_stage_bram(stage_bits, fpga::BramPolicy::kMixed)
-          .total.power_w(fpga::SpeedGrade::kMinus2, kFreqMhz);
+          .total.power_w(fpga::SpeedGrade::kMinus2, kFreq.value());
 
   SeriesTable table(
       "Ablation - update rate: BRAM power shift and capacity loss "
@@ -50,12 +50,14 @@ int main() {
   for (const double ups : {0.0, 1e3, 1e4, 1e5, 1e6, 5e6, 1e7}) {
     power::UpdateLoad load = probe;
     load.updates_per_second = ups;
-    const double write_rate = load.write_slot_fraction(kFreqMhz);
+    const double write_rate = load.write_slot_fraction(kFreq);
     const double adjusted =
-        power::adjusted_bram_power_w(bram_w, std::min(1.0, write_rate));
-    const double gbps = power::effective_lookup_gbps(kFreqMhz, load);
-    const double full = units::lookup_throughput_gbps(
-        kFreqMhz, units::kMinPacketBytes);
+        power::adjusted_bram_power_w(units::Watts{bram_w},
+                                     std::min(1.0, write_rate))
+            .value();
+    const double gbps = power::effective_lookup_gbps(kFreq, load).value();
+    const double full =
+        units::lookup_throughput(kFreq, units::kMinPacketBytes).value();
     table.add_point(ups, {write_rate, units::w_to_mw(bram_w),
                           units::w_to_mw(adjusted), gbps,
                           (1.0 - gbps / full) * 100.0});

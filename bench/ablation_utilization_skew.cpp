@@ -27,7 +27,7 @@ int main() {
       s.vn_count = kVns;
       s.alpha = 0.8;
       s.utilization = mu;
-      totals.push_back(estimator.estimate(s).power.total_w());
+      totals.push_back(estimator.estimate(s).power.total_w().value());
     }
     out.add_point(skew * 100.0,
                   {totals[0], totals[1], totals[2], totals[0] / totals[1]});

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
       try {
         const core::Estimate est = estimator.estimate(s);
         if (!est.fit.fits) break;
-        if (est.throughput_gbps / static_cast<double>(k) <
+        if (est.throughput_gbps.value() / static_cast<double>(k) <
             min_gbps_per_vn) {
           break;
         }
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
       s.alpha = c.alpha;
       s.table_profile.prefix_count = prefixes;
       const core::Estimate est = estimator.estimate(s);
-      per_vn_gbps = est.throughput_gbps / static_cast<double>(k);
+      per_vn_gbps = est.throughput_gbps.value() / static_cast<double>(k);
     }
     table.add_row({power::to_string(c.scheme),
                    c.scheme == power::Scheme::kMerged

@@ -57,7 +57,7 @@ int main() {
                    std::to_string(merged.node_count()),
                    TextTable::num(merged.alpha_effective(), 3),
                    std::to_string(words_written),
-                   TextTable::num(est.power.total_w(), 3)});
+                   TextTable::num(est.power.total_w().value(), 3)});
   };
   snapshot("boot: 4 tenants", 0);
 

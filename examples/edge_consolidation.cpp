@@ -89,10 +89,10 @@ int main() {
     const core::Estimate est = estimator.estimate(s, workload);
     table.add_row({power::to_string(scheme),
                    std::to_string(est.power.devices),
-                   TextTable::num(est.power.total_w(), 2),
-                   TextTable::num(annual_cost_usd(est.power.total_w()), 0),
-                   TextTable::num(est.throughput_gbps, 0),
-                   TextTable::num(est.mw_per_gbps, 2),
+                   TextTable::num(est.power.total_w().value(), 2),
+                   TextTable::num(annual_cost_usd(est.power.total_w().value()), 0),
+                   TextTable::num(est.throughput_gbps.value(), 0),
+                   TextTable::num(est.mw_per_gbps.value(), 2),
                    est.fit.fits ? "yes" : "NO"});
   }
   table.render(std::cout);
@@ -106,7 +106,8 @@ int main() {
                 return s;
               }(),
               workload)
-          .power.total_w();
+          .power.total_w()
+          .value();
   const double vs_w =
       estimator
           .estimate(
@@ -116,7 +117,8 @@ int main() {
                 return s;
               }(),
               workload)
-          .power.total_w();
+          .power.total_w()
+          .value();
   std::cout << "\nConsolidation saves "
             << TextTable::num(annual_cost_usd(nv_w - vs_w), 0)
             << " USD/year in energy alone (separate scheme vs " << kNetworks

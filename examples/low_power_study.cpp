@@ -31,14 +31,15 @@ int main() {
       s.grade = fpga::SpeedGrade::kMinus1L;
       const core::Estimate lo = validator.estimator().estimate(s);
       table.add_row(
-          {power::to_string(scheme), TextTable::num(hi.power.total_w(), 2),
-           TextTable::num(lo.power.total_w(), 2),
+          {power::to_string(scheme),
+           TextTable::num(hi.power.total_w().value(), 2),
+           TextTable::num(lo.power.total_w().value(), 2),
            TextTable::num(
                (1.0 - lo.power.total_w() / hi.power.total_w()) * 100.0, 1),
-           TextTable::num(hi.throughput_gbps, 0),
-           TextTable::num(lo.throughput_gbps, 0),
-           TextTable::num(hi.mw_per_gbps, 2),
-           TextTable::num(lo.mw_per_gbps, 2)});
+           TextTable::num(hi.throughput_gbps.value(), 0),
+           TextTable::num(lo.throughput_gbps.value(), 0),
+           TextTable::num(hi.mw_per_gbps.value(), 2),
+           TextTable::num(lo.mw_per_gbps.value(), 2)});
     }
     table.render(std::cout);
     std::cout << '\n';

@@ -102,7 +102,7 @@ int main() {
     s.vn_count = kTenants;
     s.table_profile = profile;
     std::cout << "  " << power::to_string(scheme) << ": "
-              << TextTable::num(estimator.estimate(s).power.total_w(), 2)
+              << TextTable::num(estimator.estimate(s).power.total_w().value(), 2)
               << " W\n";
   }
   std::cout << "\nSame shares, same latency, one third the devices: the\n"

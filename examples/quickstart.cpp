@@ -32,12 +32,12 @@ int main() {
     const core::ValidationPoint point = validator.validate(scenario);
     table.add_row({
         power::to_string(scheme),
-        TextTable::num(point.model.power.total_w(), 3),
-        TextTable::num(point.experiment.power.total_w(), 3),
+        TextTable::num(point.model.power.total_w().value(), 3),
+        TextTable::num(point.experiment.power.total_w().value(), 3),
         TextTable::num(point.error_total_pct, 2),
-        TextTable::num(point.model.freq_mhz, 1),
-        TextTable::num(point.model.throughput_gbps, 1),
-        TextTable::num(point.model.mw_per_gbps, 2),
+        TextTable::num(point.model.freq_mhz.value(), 1),
+        TextTable::num(point.model.throughput_gbps.value(), 1),
+        TextTable::num(point.model.mw_per_gbps.value(), 2),
         point.model.fit.fits ? "yes" : "NO",
     });
   }

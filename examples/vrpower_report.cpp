@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
       scenario.alpha = std::strtod(need_value(), nullptr);
       if (scenario.alpha < 0.0 || scenario.alpha > 1.0) usage(argv[0]);
     } else if (arg == "--freq") {
-      scenario.freq_mhz = std::strtod(need_value(), nullptr);
+      scenario.freq_mhz =
+          units::Megahertz{std::strtod(need_value(), nullptr)};
     } else if (arg == "--stages") {
       scenario.stages = std::strtoul(need_value(), nullptr, 10);
       if (scenario.stages == 0) usage(argv[0]);
@@ -100,30 +101,40 @@ int main(int argc, char** argv) {
     TextTable table("Power report");
     table.set_header({"quantity", "model", "experimental"});
     table.add_row({"static W",
-                   TextTable::num(point.model.power.static_w, 3),
-                   TextTable::num(point.experiment.power.static_w, 3)});
-    table.add_row({"logic W", TextTable::num(point.model.power.logic_w, 4),
-                   TextTable::num(point.experiment.power.logic_w, 4)});
+                   TextTable::num(point.model.power.static_w.value(), 3),
+                   TextTable::num(point.experiment.power.static_w.value(),
+                                  3)});
+    table.add_row({"logic W",
+                   TextTable::num(point.model.power.logic_w.value(), 4),
+                   TextTable::num(point.experiment.power.logic_w.value(),
+                                  4)});
     table.add_row({"memory W",
-                   TextTable::num(point.model.power.memory_w, 4),
-                   TextTable::num(point.experiment.power.memory_w, 4)});
-    table.add_row({"total W", TextTable::num(point.model.power.total_w(), 3),
-                   TextTable::num(point.experiment.power.total_w(), 3)});
+                   TextTable::num(point.model.power.memory_w.value(), 4),
+                   TextTable::num(point.experiment.power.memory_w.value(),
+                                  4)});
+    table.add_row({"total W",
+                   TextTable::num(point.model.power.total_w().value(), 3),
+                   TextTable::num(point.experiment.power.total_w().value(),
+                                  3)});
     table.add_row({"error %", TextTable::num(point.error_total_pct, 2), "-"});
-    table.add_row({"clock MHz", TextTable::num(point.model.freq_mhz, 1),
-                   TextTable::num(point.experiment.freq_mhz, 1)});
+    table.add_row({"clock MHz",
+                   TextTable::num(point.model.freq_mhz.value(), 1),
+                   TextTable::num(point.experiment.freq_mhz.value(), 1)});
     table.add_row({"throughput Gbps",
-                   TextTable::num(point.model.throughput_gbps, 1),
-                   TextTable::num(point.experiment.throughput_gbps, 1)});
-    table.add_row({"mW/Gbps", TextTable::num(point.model.mw_per_gbps, 2),
-                   TextTable::num(point.experiment.mw_per_gbps, 2)});
+                   TextTable::num(point.model.throughput_gbps.value(), 1),
+                   TextTable::num(point.experiment.throughput_gbps.value(),
+                                  1)});
+    table.add_row({"mW/Gbps",
+                   TextTable::num(point.model.mw_per_gbps.value(), 2),
+                   TextTable::num(point.experiment.mw_per_gbps.value(),
+                                  2)});
     table.render(std::cout);
 
     const auto& r = point.model.resources;
     std::cout << "\nResources: " << r.devices << " device(s), " << r.engines
               << " engine(s), " << r.stages_per_engine << " stages each; "
-              << r.pointer_bits / 1024 << " Kb pointer + "
-              << r.nhi_bits / 1024 << " Kb NHI memory; "
+              << r.pointer_bits.value() / 1024 << " Kb pointer + "
+              << r.nhi_bits.value() / 1024 << " Kb NHI memory; "
               << r.bram_per_device.total.halves()
               << " BRAM halves on the busiest device; " << r.io_pins
               << " I/O pins.\n";

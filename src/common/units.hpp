@@ -1,16 +1,31 @@
-// Unit conventions and conversion helpers.
+// Unit conventions, conversion helpers and compile-time quantity types.
 //
-// The library passes physical quantities as plain doubles with the unit
-// encoded in the identifier name (e.g. `power_w`, `freq_mhz`, `memory_bits`).
-// This header centralizes the conversion factors so that no magic constants
-// appear in model code. The conventions are:
+// Historically the library passed physical quantities as plain doubles with
+// the unit encoded in the identifier name (e.g. `power_w`, `freq_mhz`,
+// `memory_bits`). That convention still holds for low-level internals (the
+// fpga/ coefficient tables, the pipeline simulator counters), but every
+// public power-model API now trades in the strong quantity types below, so
+// a mW/W or µW-per-MHz-coefficient confusion is a compile error instead of
+// a ±3 %-validation surprise. The conventions are:
 //
 //   power        watts (W)            — model outputs
 //   energy       picojoules (pJ)      — per-cycle accounting in the simulator
 //   frequency    megahertz (MHz)      — matches the paper's coefficient units
 //   memory       bits                 — BRAM sizing
 //   throughput   gigabits/second      — the paper's efficiency denominator
+//
+// The quantity types are thin constexpr wrappers over their representation:
+// construction is explicit, same-unit arithmetic and dimensionless scaling
+// are allowed, cross-unit arithmetic exists only where dimensionally
+// meaningful (e.g. Picojoules / Cycles * Megahertz -> Microwatts), and
+// `.value()` is the escape hatch back to the raw representation for I/O and
+// for the suffix-convention internals. tools/check_units.py enforces that
+// src/power and src/core headers do not reintroduce naked-double power or
+// frequency parameters.
 #pragma once
+
+#include <compare>
+#include <cstdint>
 
 namespace vr::units {
 
@@ -51,10 +66,12 @@ constexpr double uw_per_mhz_to_pj_per_cycle(double coefficient) noexcept {
 }
 
 /// Average power (W) of `energy_pj` picojoules spent over `cycles` cycles at
-/// `freq_mhz` MHz: P = E / t, t = cycles / (f·1e6).
+/// `freq_mhz` MHz: P = E / t, t = cycles / (f·1e6). A non-positive cycle
+/// count or frequency describes a clock-gated (idle) operating point, whose
+/// average power is zero — not a division by zero.
 constexpr double pj_over_cycles_to_w(double energy_pj, double cycles,
                                      double freq_mhz) noexcept {
-  if (cycles <= 0.0) return 0.0;
+  if (cycles <= 0.0 || freq_mhz <= 0.0) return 0.0;
   return energy_pj * 1e-12 / (cycles / (freq_mhz * 1e6));
 }
 
@@ -67,5 +84,153 @@ constexpr double lookup_throughput_gbps(double freq_mhz,
 }
 
 inline constexpr double kMinPacketBytes = 40.0;
+
+// --------------------------------------------------------------------------
+// Strong quantity types
+// --------------------------------------------------------------------------
+
+/// One physical quantity: a `Rep` tagged with its unit. Same-unit addition
+/// and dimensionless scaling only; everything else must go through the
+/// explicit conversions / dimensional operators below or through `.value()`.
+template <class Tag, class Rep = double>
+class Quantity {
+ public:
+  using rep = Rep;
+
+  constexpr Quantity() noexcept = default;
+  explicit constexpr Quantity(Rep value) noexcept : value_(value) {}
+
+  /// Escape hatch to the raw representation (printing, suffix-convention
+  /// internals). Deliberately the only way out.
+  [[nodiscard]] constexpr Rep value() const noexcept { return value_; }
+
+  constexpr Quantity& operator+=(Quantity other) noexcept {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) noexcept {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(Rep scale) noexcept {
+    value_ *= scale;
+    return *this;
+  }
+  constexpr Quantity& operator/=(Rep scale) noexcept {
+    value_ /= scale;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) noexcept {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) noexcept {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a) noexcept {
+    return Quantity{-a.value_};
+  }
+  friend constexpr Quantity operator*(Quantity q, Rep scale) noexcept {
+    return Quantity{q.value_ * scale};
+  }
+  friend constexpr Quantity operator*(Rep scale, Quantity q) noexcept {
+    return Quantity{scale * q.value_};
+  }
+  friend constexpr Quantity operator/(Quantity q, Rep scale) noexcept {
+    return Quantity{q.value_ / scale};
+  }
+  /// Same-unit ratio is dimensionless.
+  friend constexpr Rep operator/(Quantity a, Quantity b) noexcept {
+    return a.value_ / b.value_;
+  }
+
+  friend constexpr auto operator<=>(Quantity, Quantity) noexcept = default;
+
+ private:
+  Rep value_{};
+};
+
+struct WattsTag {};
+struct MilliwattsTag {};
+struct MicrowattsTag {};
+struct PicojoulesTag {};
+struct PjPerCycleTag {};
+struct MegahertzTag {};
+struct GbpsTag {};
+struct MwPerGbpsTag {};
+struct CyclesTag {};
+struct BitsTag {};
+
+using Watts = Quantity<WattsTag>;
+using Milliwatts = Quantity<MilliwattsTag>;
+using Microwatts = Quantity<MicrowattsTag>;
+using Picojoules = Quantity<PicojoulesTag>;
+using PjPerCycle = Quantity<PjPerCycleTag>;
+using Megahertz = Quantity<MegahertzTag>;
+using Gbps = Quantity<GbpsTag>;
+using MwPerGbps = Quantity<MwPerGbpsTag>;
+using Cycles = Quantity<CyclesTag>;
+/// Memory sizes are exact bit counts, so Bits carries an integer rep.
+using Bits = Quantity<BitsTag, std::uint64_t>;
+
+// ------------------------------------------------------ unit conversions --
+
+[[nodiscard]] constexpr Watts to_watts(Milliwatts mw) noexcept {
+  return Watts{mw.value() / kMilliPerUnit};
+}
+[[nodiscard]] constexpr Watts to_watts(Microwatts uw) noexcept {
+  return Watts{uw.value() / kMicroPerUnit};
+}
+[[nodiscard]] constexpr Milliwatts to_milliwatts(Watts w) noexcept {
+  return Milliwatts{w.value() * kMilliPerUnit};
+}
+[[nodiscard]] constexpr Microwatts to_microwatts(Watts w) noexcept {
+  return Microwatts{w.value() * kMicroPerUnit};
+}
+[[nodiscard]] constexpr double bits_to_kbits(Bits bits) noexcept {
+  return static_cast<double>(bits.value()) / kKibit;
+}
+
+// -------------------------------------------------- dimensional algebra --
+
+/// Per-cycle energy of a total energy spread over a cycle count.
+[[nodiscard]] constexpr PjPerCycle operator/(Picojoules energy,
+                                             Cycles cycles) noexcept {
+  return PjPerCycle{energy.value() / cycles.value()};
+}
+
+/// The µW/MHz ≡ pJ/cycle coefficient identity, now type-checked:
+/// P(µW) = c(pJ/cycle) · f(MHz).
+[[nodiscard]] constexpr Microwatts operator*(PjPerCycle coefficient,
+                                             Megahertz freq) noexcept {
+  return Microwatts{coefficient.value() * freq.value()};
+}
+[[nodiscard]] constexpr Microwatts operator*(Megahertz freq,
+                                             PjPerCycle coefficient) noexcept {
+  return Microwatts{freq.value() * coefficient.value()};
+}
+
+/// The paper's Sec. VI-B efficiency metric: mW of power per Gbps of
+/// capacity.
+[[nodiscard]] constexpr MwPerGbps operator/(Milliwatts mw,
+                                            Gbps throughput) noexcept {
+  return MwPerGbps{mw.value() / throughput.value()};
+}
+
+// ------------------------------------------------------- typed helpers --
+
+/// Typed form of `pj_over_cycles_to_w`: Picojoules / Cycles / Megahertz ->
+/// Watts, with the same idle-point guards as the raw helper.
+[[nodiscard]] constexpr Watts average_power(Picojoules energy, Cycles cycles,
+                                            Megahertz freq) noexcept {
+  return Watts{pj_over_cycles_to_w(energy.value(), cycles.value(),
+                                   freq.value())};
+}
+
+/// Typed form of `lookup_throughput_gbps`.
+[[nodiscard]] constexpr Gbps lookup_throughput(Megahertz freq,
+                                               double packet_bytes) noexcept {
+  return Gbps{lookup_throughput_gbps(freq.value(), packet_bytes)};
+}
 
 }  // namespace vr::units

@@ -18,9 +18,8 @@ Estimate PowerEstimator::estimate(const Scenario& scenario) const {
   return estimate(scenario, workload);
 }
 
-double PowerEstimator::operating_frequency_mhz(const Scenario& scenario,
-                                               const Workload& workload)
-    const {
+units::Megahertz PowerEstimator::operating_frequency_mhz(
+    const Scenario& scenario, const Workload& workload) const {
   // Resources of the most congested single device of the deployment.
   fpga::DesignResources resources;
   const bool merged = scenario.scheme == power::Scheme::kMerged;
@@ -48,9 +47,11 @@ double PowerEstimator::operating_frequency_mhz(const Scenario& scenario,
   resources.bram_halves = plan.total.halves();
   resources.pipelines = engines_on_device;
 
-  const double fmax = fpga::achievable_fmax_mhz(device_, scenario.grade,
-                                                resources, freq_params_);
-  return scenario.freq_mhz > 0.0 ? std::min(scenario.freq_mhz, fmax) : fmax;
+  const units::Megahertz fmax{fpga::achievable_fmax_mhz(
+      device_, scenario.grade, resources, freq_params_)};
+  return scenario.freq_mhz > units::Megahertz{0.0}
+             ? std::min(scenario.freq_mhz, fmax)
+             : fmax;
 }
 
 Estimate PowerEstimator::estimate(const Scenario& scenario,

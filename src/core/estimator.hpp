@@ -17,9 +17,9 @@ struct Estimate {
   power::PowerBreakdown power;
   power::SchemeResources resources;
   power::FitReport fit;
-  double freq_mhz = 0.0;          ///< operating clock used
-  double throughput_gbps = 0.0;   ///< aggregate lookup capacity
-  double mw_per_gbps = 0.0;       ///< Sec. VI-B efficiency metric
+  units::Megahertz freq_mhz;      ///< operating clock used
+  units::Gbps throughput_gbps;    ///< aggregate lookup capacity
+  units::MwPerGbps mw_per_gbps;   ///< Sec. VI-B efficiency metric
   double alpha_used = 1.0;
 };
 
@@ -40,9 +40,8 @@ class PowerEstimator {
   /// of its most congested device (Sec. VI-B — merged designs slow down as
   /// K grows), capped by scenario.freq_mhz when set. Shared with the
   /// experiment runner so model-vs-experiment error isolates power effects.
-  [[nodiscard]] double operating_frequency_mhz(const Scenario& scenario,
-                                               const Workload& workload)
-      const;
+  [[nodiscard]] units::Megahertz operating_frequency_mhz(
+      const Scenario& scenario, const Workload& workload) const;
 
   [[nodiscard]] const fpga::DeviceSpec& device() const noexcept {
     return device_;

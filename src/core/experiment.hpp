@@ -13,9 +13,9 @@ namespace vr::core {
 /// Result of a simulated post-PnR power analysis.
 struct ExperimentResult {
   power::PowerBreakdown power;   ///< memory_w carries the BRAM component
-  double freq_mhz = 0.0;
-  double throughput_gbps = 0.0;
-  double mw_per_gbps = 0.0;
+  units::Megahertz freq_mhz;
+  units::Gbps throughput_gbps;
+  units::MwPerGbps mw_per_gbps;
   fpga::PnrReport device_report;  ///< report of the (most loaded) device
 };
 

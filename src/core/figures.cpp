@@ -116,10 +116,10 @@ FigureBuilder::Fig4 FigureBuilder::fig4_memory() const {
                                             cases[c].alpha,
                                             fpga::SpeedGrade::kMinus2);
           const Estimate est = estimator.estimate(s, *workload_for(s));
-          row.ptr[c] =
-              bits_to_kbits(static_cast<double>(est.resources.pointer_bits));
-          row.nhi[c] =
-              bits_to_kbits(static_cast<double>(est.resources.nhi_bits));
+          row.ptr[c] = bits_to_kbits(
+              static_cast<double>(est.resources.pointer_bits.value()));
+          row.nhi[c] = bits_to_kbits(
+              static_cast<double>(est.resources.nhi_bits.value()));
         }
         return row;
       });
@@ -155,8 +155,8 @@ SeriesTable FigureBuilder::fig5_total_power(fpga::SpeedGrade grade) const {
           const Scenario s = sweep_scenario(c.scheme, k, c.alpha, grade);
           const ValidationPoint point =
               validator_.validate(s, *workload_for(s));
-          row.push_back(point.model.power.total_w());
-          row.push_back(point.experiment.power.total_w());
+          row.push_back(point.model.power.total_w().value());
+          row.push_back(point.experiment.power.total_w().value());
         }
         return row;
       });
@@ -186,7 +186,7 @@ SeriesTable FigureBuilder::fig6_virtualized_power(
           const Scenario s = sweep_scenario(c.scheme, k, c.alpha, grade);
           const ValidationPoint point =
               validator_.validate(s, *workload_for(s));
-          row.push_back(point.experiment.power.total_w());
+          row.push_back(point.experiment.power.total_w().value());
         }
         return row;
       });
@@ -246,7 +246,7 @@ SeriesTable FigureBuilder::fig8_efficiency(fpga::SpeedGrade grade) const {
           const Scenario s = sweep_scenario(c.scheme, k, c.alpha, grade);
           const ExperimentResult exp =
               validator_.runner().run(s, *workload_for(s));
-          row.push_back(exp.mw_per_gbps);
+          row.push_back(exp.mw_per_gbps.value());
         }
         return row;
       });

@@ -13,7 +13,9 @@ std::string Scenario::describe() const {
        << (merged_source == MergedSource::kStructural ? " (structural)"
                                                       : " (analytic)");
   }
-  if (freq_mhz > 0.0) os << " f=" << freq_mhz << "MHz";
+  if (freq_mhz > units::Megahertz{0.0}) {
+    os << " f=" << freq_mhz.value() << "MHz";
+  }
   return os.str();
 }
 

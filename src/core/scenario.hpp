@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
 #include "fpga/bram.hpp"
 #include "fpga/device.hpp"
 #include "netbase/table_gen.hpp"
@@ -31,8 +32,8 @@ struct Scenario {
   fpga::BramPolicy bram_policy = fpga::BramPolicy::kMixed;
   std::size_t stages = 28;  ///< N (Sec. VI: all pipelines 28 stages)
 
-  /// Operating clock in MHz; 0 = run at the post-PnR achievable Fmax.
-  double freq_mhz = 0.0;
+  /// Operating clock; 0 = run at the post-PnR achievable Fmax.
+  units::Megahertz freq_mhz{0.0};
 
   /// Merging efficiency for the merged scheme.
   double alpha = 0.8;

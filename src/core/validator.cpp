@@ -25,12 +25,15 @@ ValidationPoint ModelValidator::validate(const Scenario& scenario,
   point.scenario = scenario;
   point.model = estimator_.estimate(scenario, workload);
   point.experiment = runner_.run(scenario, workload);
-  point.error_total_pct = percentage_error(
-      point.model.power.total_w(), point.experiment.power.total_w());
-  point.error_static_pct = percentage_error(
-      point.model.power.static_w, point.experiment.power.static_w);
-  point.error_dynamic_pct = percentage_error(
-      point.model.power.dynamic_w(), point.experiment.power.dynamic_w());
+  point.error_total_pct =
+      percentage_error(point.model.power.total_w().value(),
+                       point.experiment.power.total_w().value());
+  point.error_static_pct =
+      percentage_error(point.model.power.static_w.value(),
+                       point.experiment.power.static_w.value());
+  point.error_dynamic_pct =
+      percentage_error(point.model.power.dynamic_w().value(),
+                       point.experiment.power.dynamic_w().value());
   return point;
 }
 

@@ -24,27 +24,29 @@ std::vector<double> AnalyticalModel::resolve_utilization(
   return op.utilization;
 }
 
-double AnalyticalModel::stage_memory_power_w(std::uint64_t bits,
-                                             const OperatingPoint& op) const {
+units::Watts AnalyticalModel::stage_memory_power_w(
+    units::Bits bits, const OperatingPoint& op) const {
   const fpga::BramAllocation alloc =
-      fpga::allocate_bram(bits, op.bram_policy);
-  return alloc.power_w(op.grade, op.freq_mhz);
+      fpga::allocate_bram(bits.value(), op.bram_policy);
+  return units::Watts{alloc.power_w(op.grade, op.freq_mhz.value())};
 }
 
-double AnalyticalModel::stage_logic_power_w(const OperatingPoint& op) const {
-  return fpga::XpeTables::logic_power_w(op.grade, 1, op.freq_mhz);
+units::Watts AnalyticalModel::stage_logic_power_w(
+    const OperatingPoint& op) const {
+  return units::Watts{
+      fpga::XpeTables::logic_power_w(op.grade, 1, op.freq_mhz.value())};
 }
 
 void AnalyticalModel::engine_dynamic_w(const EngineSpec& engine, double u,
                                        const OperatingPoint& op,
-                                       double* logic_w,
-                                       double* memory_w) const {
+                                       units::Watts* logic_w,
+                                       units::Watts* memory_w) const {
   VR_REQUIRE(!engine.stage_bits.empty(), "engine has no stages");
-  double logic = 0.0;
-  double memory = 0.0;
+  units::Watts logic;
+  units::Watts memory;
   for (const std::uint64_t bits : engine.stage_bits) {
     logic += stage_logic_power_w(op);
-    memory += stage_memory_power_w(bits, op);
+    memory += stage_memory_power_w(units::Bits{bits}, op);
   }
   *logic_w += logic * u;
   *memory_w += memory * u;
@@ -58,8 +60,8 @@ PowerBreakdown AnalyticalModel::estimate_nv(
   out.devices = engines.size();
   out.freq_mhz = op.freq_mhz;
   // Eq. 2: each VN pays a full device's leakage.
-  out.static_w = static_cast<double>(engines.size()) *
-                 device_.static_power_w(op.grade);
+  out.static_w = units::Watts{static_cast<double>(engines.size()) *
+                              device_.static_power_w(op.grade)};
   for (std::size_t i = 0; i < engines.size(); ++i) {
     engine_dynamic_w(engines[i], mu[i], op, &out.logic_w, &out.memory_w);
   }
@@ -74,7 +76,7 @@ PowerBreakdown AnalyticalModel::estimate_vs(
   out.devices = 1;
   out.freq_mhz = op.freq_mhz;
   // Eq. 4: leakage paid once; dynamic identical to NV.
-  out.static_w = device_.static_power_w(op.grade);
+  out.static_w = units::Watts{device_.static_power_w(op.grade)};
   for (std::size_t i = 0; i < engines.size(); ++i) {
     engine_dynamic_w(engines[i], mu[i], op, &out.logic_w, &out.memory_w);
   }
@@ -94,7 +96,7 @@ PowerBreakdown AnalyticalModel::estimate_vm(const EngineSpec& merged_engine,
   // Eq. 6: leakage paid once; the single engine's dynamic power carries the
   // aggregate utilization (Σµ = 1 under Assumption 1 — the engine is busy
   // whenever any VN offers a packet).
-  out.static_w = device_.static_power_w(op.grade);
+  out.static_w = units::Watts{device_.static_power_w(op.grade)};
   engine_dynamic_w(merged_engine, aggregate, op, &out.logic_w,
                    &out.memory_w);
   return out;

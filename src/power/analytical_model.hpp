@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "common/units.hpp"
 #include "fpga/bram.hpp"
 #include "fpga/device.hpp"
 #include "power/scheme.hpp"
@@ -37,25 +38,26 @@ struct EngineSpec {
 struct OperatingPoint {
   fpga::SpeedGrade grade = fpga::SpeedGrade::kMinus2;
   fpga::BramPolicy bram_policy = fpga::BramPolicy::kMixed;
-  /// Clock every engine runs at, MHz.
-  double freq_mhz = 400.0;
-  /// Per-VN utilizations µ_i. Empty = uniform 1/K (Assumption 1). Must sum
-  /// to <= engines' capacity; the estimators only use the values.
+  /// Clock every engine runs at.
+  units::Megahertz freq_mhz{400.0};
+  /// Per-VN utilizations µ_i (dimensionless fractions). Empty = uniform 1/K
+  /// (Assumption 1). Must sum to <= engines' capacity; the estimators only
+  /// use the values.
   std::vector<double> utilization;
 };
 
-/// Component breakdown of an estimate (watts).
+/// Component breakdown of an estimate.
 struct PowerBreakdown {
-  double static_w = 0.0;
-  double logic_w = 0.0;
-  double memory_w = 0.0;
+  units::Watts static_w;
+  units::Watts logic_w;
+  units::Watts memory_w;
   std::size_t devices = 0;
-  double freq_mhz = 0.0;
+  units::Megahertz freq_mhz;
 
-  [[nodiscard]] double total_w() const noexcept {
+  [[nodiscard]] constexpr units::Watts total_w() const noexcept {
     return static_w + logic_w + memory_w;
   }
-  [[nodiscard]] double dynamic_w() const noexcept {
+  [[nodiscard]] constexpr units::Watts dynamic_w() const noexcept {
     return logic_w + memory_w;
   }
 };
@@ -83,11 +85,12 @@ class AnalyticalModel {
 
   /// P(M_{i,j}) for one stage of `bits` bits — Table III applied through
   /// the allocator. Exposed for tests and the Table III bench.
-  [[nodiscard]] double stage_memory_power_w(std::uint64_t bits,
-                                            const OperatingPoint& op) const;
+  [[nodiscard]] units::Watts stage_memory_power_w(
+      units::Bits bits, const OperatingPoint& op) const;
 
   /// P(L_{i,j}) for one stage — the Sec. V-C linear coefficient.
-  [[nodiscard]] double stage_logic_power_w(const OperatingPoint& op) const;
+  [[nodiscard]] units::Watts stage_logic_power_w(
+      const OperatingPoint& op) const;
 
   [[nodiscard]] const fpga::DeviceSpec& device() const noexcept {
     return device_;
@@ -101,8 +104,8 @@ class AnalyticalModel {
   /// Accumulates one engine's dynamic power at utilization u into
   /// *logic_w / *memory_w.
   void engine_dynamic_w(const EngineSpec& engine, double u,
-                        const OperatingPoint& op, double* logic_w,
-                        double* memory_w) const;
+                        const OperatingPoint& op, units::Watts* logic_w,
+                        units::Watts* memory_w) const;
 
   fpga::DeviceSpec device_;
 };

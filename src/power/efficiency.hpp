@@ -8,16 +8,17 @@
 
 namespace vr::power {
 
-/// mW per Gbps given total power (W) and aggregate throughput (Gbps).
-[[nodiscard]] constexpr double mw_per_gbps(double power_w,
-                                           double throughput_gbps) noexcept {
-  return throughput_gbps <= 0.0
-             ? 0.0
-             : units::w_to_mw(power_w) / throughput_gbps;
+/// mW per Gbps of total power over aggregate throughput. A deployment with
+/// no capacity has no meaningful efficiency; it reports zero.
+[[nodiscard]] constexpr units::MwPerGbps mw_per_gbps(
+    units::Watts power, units::Gbps throughput) noexcept {
+  return throughput <= units::Gbps{0.0}
+             ? units::MwPerGbps{0.0}
+             : units::to_milliwatts(power) / throughput;
 }
 
 /// Efficiency of a scheme's estimate at its operating clock.
-[[nodiscard]] inline double scheme_efficiency_mw_per_gbps(
+[[nodiscard]] inline units::MwPerGbps scheme_efficiency_mw_per_gbps(
     Scheme scheme, std::size_t vn_count, const PowerBreakdown& power) noexcept {
   return mw_per_gbps(power.total_w(),
                      aggregate_throughput_gbps(scheme, vn_count,

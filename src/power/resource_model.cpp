@@ -30,10 +30,10 @@ SchemeResources replicated_resources(Scheme scheme,
   r.devices = devices_for(scheme, vn_count);
   r.engines = vn_count;
   r.stages_per_engine = per_vn_memory.stage_count();
-  r.pointer_bits =
-      per_vn_memory.total_pointer_bits() * static_cast<std::uint64_t>(vn_count);
-  r.nhi_bits =
-      per_vn_memory.total_nhi_bits() * static_cast<std::uint64_t>(vn_count);
+  r.pointer_bits = units::Bits{per_vn_memory.total_pointer_bits() *
+                               static_cast<std::uint64_t>(vn_count)};
+  r.nhi_bits = units::Bits{per_vn_memory.total_nhi_bits() *
+                           static_cast<std::uint64_t>(vn_count)};
   fill_logic(r);
 
   // BRAM plan of one device: NV has one engine per device, VS stacks all K.
@@ -62,8 +62,8 @@ SchemeResources merged_resources(const trie::StageMemory& merged_memory,
   r.devices = 1;
   r.engines = 1;
   r.stages_per_engine = merged_memory.stage_count();
-  r.pointer_bits = merged_memory.total_pointer_bits();
-  r.nhi_bits = merged_memory.total_nhi_bits();
+  r.pointer_bits = units::Bits{merged_memory.total_pointer_bits()};
+  r.nhi_bits = units::Bits{merged_memory.total_nhi_bits()};
   fill_logic(r);
 
   std::vector<std::uint64_t> stage_bits;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/units.hpp"
 #include "fpga/bram.hpp"
 #include "fpga/device.hpp"
 #include "power/scheme.hpp"
@@ -20,15 +21,15 @@ struct SchemeResources {
   std::size_t devices = 0;
   std::size_t engines = 0;          ///< total lookup pipelines
   std::size_t stages_per_engine = 0;
-  std::uint64_t pointer_bits = 0;   ///< Σ internal-node memory
-  std::uint64_t nhi_bits = 0;       ///< Σ leaf/NHI memory
+  units::Bits pointer_bits;         ///< Σ internal-node memory
+  units::Bits nhi_bits;             ///< Σ leaf/NHI memory
   std::uint64_t luts = 0;
   std::uint64_t flip_flops = 0;
   std::uint32_t io_pins = 0;        ///< on the most loaded device
   fpga::StageBramPlan bram_per_device;  ///< plan of one (the) shared device;
                                         ///< for NV this is one device's plan
 
-  [[nodiscard]] std::uint64_t total_memory_bits() const noexcept {
+  [[nodiscard]] units::Bits total_memory_bits() const noexcept {
     return pointer_bits + nhi_bits;
   }
 };

@@ -39,17 +39,16 @@ enum class Scheme {
   return scheme == Scheme::kSeparate ? vn_count : 1;
 }
 
-/// Aggregate lookup capacity in Gbps at clock `freq_mhz` with minimum-size
-/// (40 B) packets: every engine sustains one lookup per cycle, so NV and VS
-/// scale with K while the merged engine is time-shared among the VNs
-/// (Sec. IV-C) and does not (this is why VM's mW/Gbps deteriorates,
-/// Sec. VI-B).
-[[nodiscard]] constexpr double aggregate_throughput_gbps(
-    Scheme scheme, std::size_t vn_count, double freq_mhz) noexcept {
+/// Aggregate lookup capacity at clock `freq` with minimum-size (40 B)
+/// packets: every engine sustains one lookup per cycle, so NV and VS scale
+/// with K while the merged engine is time-shared among the VNs (Sec. IV-C)
+/// and does not (this is why VM's mW/Gbps deteriorates, Sec. VI-B).
+[[nodiscard]] constexpr units::Gbps aggregate_throughput_gbps(
+    Scheme scheme, std::size_t vn_count, units::Megahertz freq) noexcept {
   const std::size_t engines =
       devices_for(scheme, vn_count) * engines_per_device(scheme, vn_count);
   return static_cast<double>(engines) *
-         units::lookup_throughput_gbps(freq_mhz, units::kMinPacketBytes);
+         units::lookup_throughput(freq, units::kMinPacketBytes);
 }
 
 }  // namespace vr::power

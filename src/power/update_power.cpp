@@ -7,19 +7,21 @@
 
 namespace vr::power {
 
-double adjusted_bram_power_w(double table3_power_w, double write_rate,
-                             const UpdateRateModel& model) {
+units::Watts adjusted_bram_power_w(units::Watts table3_power,
+                                   double write_rate,
+                                   const UpdateRateModel& model) {
   VR_REQUIRE(write_rate >= 0.0 && write_rate <= 1.0,
              "write rate must be in [0,1]");
-  return table3_power_w *
+  return table3_power *
          (1.0 + model.write_power_sensitivity *
                     (write_rate - model.baseline_write_rate));
 }
 
-double effective_lookup_gbps(double freq_mhz, const UpdateLoad& load) {
-  const double stolen = std::min(1.0, load.write_slot_fraction(freq_mhz));
+units::Gbps effective_lookup_gbps(units::Megahertz freq,
+                                  const UpdateLoad& load) {
+  const double stolen = std::min(1.0, load.write_slot_fraction(freq));
   return (1.0 - stolen) *
-         units::lookup_throughput_gbps(freq_mhz, units::kMinPacketBytes);
+         units::lookup_throughput(freq, units::kMinPacketBytes);
 }
 
 UpdateLoad measure_update_load(const net::RoutingTable& base,

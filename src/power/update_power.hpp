@@ -9,6 +9,7 @@
 
 #include <cstddef>
 
+#include "common/units.hpp"
 #include "fpga/bram.hpp"
 #include "trie/updatable_trie.hpp"
 
@@ -17,11 +18,11 @@ namespace vr::power {
 struct UpdateRateModel {
   /// Write rate already folded into the Table III coefficients.
   double baseline_write_rate = 0.01;
-  /// Fractional BRAM power change per unit of write-rate change. XPE-style
-  /// BRAM write energy is of the same order as read energy; 0.30 means a
-  /// write-saturated memory (rate 1.0) burns 30 % more than the Table III
-  /// value.
-  double write_power_sensitivity = 0.30;
+  /// Fractional BRAM power change per unit of write-rate change (a
+  /// dimensionless sensitivity, not a power). XPE-style BRAM write energy
+  /// is of the same order as read energy; 0.30 means a write-saturated
+  /// memory (rate 1.0) burns 30 % more than the Table III value.
+  double write_power_sensitivity = 0.30;  // units-ok: dimensionless ratio
 };
 
 /// Steady-state write statistics of an update stream against a deployment.
@@ -37,22 +38,23 @@ struct UpdateLoad {
   /// Fraction of clock cycles consumed by writes (one write port: each
   /// write occupies one cycle of one stage; normalized to the engine's
   /// issue slots).
-  [[nodiscard]] double write_slot_fraction(double freq_mhz) const noexcept {
-    if (freq_mhz <= 0.0) return 0.0;
-    return writes_per_second() / (freq_mhz * 1e6);
+  [[nodiscard]] double write_slot_fraction(units::Megahertz freq)
+      const noexcept {
+    if (freq <= units::Megahertz{0.0}) return 0.0;
+    return writes_per_second() / (freq.value() * 1e6);
   }
 };
 
 /// BRAM power adjusted from the Table III baseline to an actual write
 /// rate: P' = P * (1 + sensitivity * (rate - baseline)).
-[[nodiscard]] double adjusted_bram_power_w(double table3_power_w,
-                                           double write_rate,
-                                           const UpdateRateModel& model = {});
+[[nodiscard]] units::Watts adjusted_bram_power_w(
+    units::Watts table3_power, double write_rate,
+    const UpdateRateModel& model = {});
 
-/// Effective lookup capacity (Gbps) after update writes steal issue slots:
+/// Effective lookup capacity after update writes steal issue slots:
 /// capacity = (1 - write_slot_fraction) * line_rate.
-[[nodiscard]] double effective_lookup_gbps(double freq_mhz,
-                                           const UpdateLoad& load);
+[[nodiscard]] units::Gbps effective_lookup_gbps(units::Megahertz freq,
+                                                const UpdateLoad& load);
 
 /// Mean words per update measured by replaying `updates` on a copy of the
 /// deployment trie.

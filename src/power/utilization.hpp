@@ -1,6 +1,10 @@
 // Per-VN utilization (µ_i) generators — Assumption 1 (uniform 1/K) and
 // the relaxations the paper mentions ("more complex distributions can be
 // modeled by appropriately changing the µ_i values", Sec. IV-A).
+//
+// Utilizations are dimensionless fractions in [0,1]; they intentionally
+// stay plain doubles under the unit-type system (common/units.hpp) — the
+// unit lint only polices quantities that carry a physical dimension.
 #pragma once
 
 #include <cstddef>

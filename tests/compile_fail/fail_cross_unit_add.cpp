@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: watts + milliwatts is dimensionally incoherent without
+// an explicit conversion through units::to_watts / units::to_milliwatts.
+#include "common/units.hpp"
+
+int main() {
+  const auto sum = vr::units::Watts{1.0} + vr::units::Milliwatts{1.0};
+  return static_cast<int>(sum.value());
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: MHz * MHz has no meaning in this model; only the
+// pJ/cycle * MHz coefficient identity is defined.
+#include "common/units.hpp"
+
+int main() {
+  const auto nonsense =
+      vr::units::Megahertz{400.0} * vr::units::Megahertz{400.0};
+  return static_cast<int>(nonsense.value());
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: quantity construction is explicit — a bare double has
+// no unit and cannot silently become one.
+#include "common/units.hpp"
+
+int main() {
+  vr::units::Megahertz f = 400.0;
+  return static_cast<int>(f.value());
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: assigning milliwatts to a watts quantity without an
+// explicit conversion is exactly the 1000x mistake the types exist to stop.
+#include "common/units.hpp"
+
+int main() {
+  vr::units::Watts w = vr::units::Milliwatts{1500.0};
+  return static_cast<int>(w.value());
+}

@@ -1,0 +1,17 @@
+// MUST COMPILE: the legal subset of the quantity algebra, exercised the
+// same way the fail_*.cpp cases exercise the illegal one. If this file
+// ever stops compiling the fail cases prove nothing.
+#include "common/units.hpp"
+
+int main() {
+  using namespace vr::units;
+  const Watts w = to_watts(Milliwatts{1500.0});
+  const Watts doubled = w + w;
+  const Microwatts from_coeff = PjPerCycle{2.5} * Megahertz{400.0};
+  const Gbps gbps = lookup_throughput(Megahertz{400.0}, kMinPacketBytes);
+  const MwPerGbps eff = to_milliwatts(doubled) / gbps;
+  const double ratio = doubled / w;  // same-unit ratio is dimensionless
+  return static_cast<int>(eff.value() + from_coeff.value() + ratio) > 1'000'000
+             ? 1
+             : 0;
+}

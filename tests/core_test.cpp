@@ -103,7 +103,8 @@ TEST_F(EstimatorTest, NvPowerScalesLinearlyWithK) {
   for (std::size_t k : {1u, 5u, 10u, 15u}) {
     totals.push_back(
         estimator_.estimate(base_scenario(power::Scheme::kNonVirtualized, k))
-            .power.total_w());
+            .power.total_w()
+            .value());
   }
   // Slope ≈ one device's leakage (4.5 W) as in Fig. 5.
   const double slope = (totals[3] - totals[0]) / 14.0;
@@ -113,10 +114,12 @@ TEST_F(EstimatorTest, NvPowerScalesLinearlyWithK) {
 TEST_F(EstimatorTest, VirtualizedPowerIsRoughlyFlatInK) {
   const double p2 =
       estimator_.estimate(base_scenario(power::Scheme::kSeparate, 2))
-          .power.total_w();
+          .power.total_w()
+          .value();
   const double p15 =
       estimator_.estimate(base_scenario(power::Scheme::kSeparate, 15))
-          .power.total_w();
+          .power.total_w()
+          .value();
   EXPECT_LT(std::fabs(p15 - p2), 0.5);  // watts, vs ~60 W swing for NV
 }
 
@@ -125,10 +128,12 @@ TEST_F(EstimatorTest, SavingsProportionalToK) {
   for (std::size_t k : {4u, 8u, 15u}) {
     const double nv =
         estimator_.estimate(base_scenario(power::Scheme::kNonVirtualized, k))
-            .power.total_w();
+            .power.total_w()
+            .value();
     const double vs =
         estimator_.estimate(base_scenario(power::Scheme::kSeparate, k))
-            .power.total_w();
+            .power.total_w()
+            .value();
     EXPECT_NEAR(nv / vs, static_cast<double>(k), 0.18 * static_cast<double>(k));
   }
 }
@@ -136,19 +141,19 @@ TEST_F(EstimatorTest, SavingsProportionalToK) {
 TEST_F(EstimatorTest, MergedClockDegradesWithK) {
   Scenario s = base_scenario(power::Scheme::kMerged, 2);
   s.alpha = 0.2;
-  const double f2 = estimator_.estimate(s).freq_mhz;
+  const double f2 = estimator_.estimate(s).freq_mhz.value();
   s.vn_count = 15;
-  const double f15 = estimator_.estimate(s).freq_mhz;
+  const double f15 = estimator_.estimate(s).freq_mhz.value();
   EXPECT_LT(f15, 0.75 * f2);  // Sec. VI-B "decreases significantly"
 }
 
 TEST_F(EstimatorTest, SeparateClockStaysHigh) {
   const double f1 =
       estimator_.estimate(base_scenario(power::Scheme::kSeparate, 1))
-          .freq_mhz;
+          .freq_mhz.value();
   const double f15 =
       estimator_.estimate(base_scenario(power::Scheme::kSeparate, 15))
-          .freq_mhz;
+          .freq_mhz.value();
   EXPECT_GT(f15, 0.8 * f1);
 }
 
@@ -157,13 +162,13 @@ TEST_F(EstimatorTest, EfficiencyOrderingMatchesFig8) {
   for (std::size_t k : {4u, 8u, 15u}) {
     const double vs =
         estimator_.estimate(base_scenario(power::Scheme::kSeparate, k))
-            .mw_per_gbps;
+            .mw_per_gbps.value();
     const double nv =
         estimator_.estimate(base_scenario(power::Scheme::kNonVirtualized, k))
-            .mw_per_gbps;
+            .mw_per_gbps.value();
     Scenario vm = base_scenario(power::Scheme::kMerged, k);
     vm.alpha = 0.8;
-    const double vm80 = estimator_.estimate(vm).mw_per_gbps;
+    const double vm80 = estimator_.estimate(vm).mw_per_gbps.value();
     EXPECT_LT(vs, nv);
     EXPECT_LT(nv, vm80);
   }
@@ -175,9 +180,9 @@ TEST_F(EstimatorTest, LowAlphaMergedWorseThanHighAlpha) {
   const Estimate hi = estimator_.estimate(s);
   s.alpha = 0.2;
   const Estimate lo = estimator_.estimate(s);
-  EXPECT_GT(lo.mw_per_gbps, hi.mw_per_gbps);
-  EXPECT_GT(lo.power.memory_w, hi.power.memory_w);
-  EXPECT_LT(lo.freq_mhz, hi.freq_mhz);
+  EXPECT_GT(lo.mw_per_gbps.value(), hi.mw_per_gbps.value());
+  EXPECT_GT(lo.power.memory_w.value(), hi.power.memory_w.value());
+  EXPECT_LT(lo.freq_mhz.value(), hi.freq_mhz.value());
 }
 
 TEST_F(EstimatorTest, SeparateFitsExactlyFifteenVns) {
@@ -191,10 +196,10 @@ TEST_F(EstimatorTest, SeparateFitsExactlyFifteenVns) {
 
 TEST_F(EstimatorTest, RequestedFrequencyHonored) {
   Scenario s = base_scenario(power::Scheme::kSeparate, 4);
-  s.freq_mhz = 123.0;
+  s.freq_mhz = units::Megahertz{123.0};
   const Estimate est = estimator_.estimate(s);
-  EXPECT_DOUBLE_EQ(est.freq_mhz, 123.0);
-  EXPECT_DOUBLE_EQ(est.power.freq_mhz, 123.0);
+  EXPECT_DOUBLE_EQ(est.freq_mhz.value(), 123.0);
+  EXPECT_DOUBLE_EQ(est.power.freq_mhz.value(), 123.0);
 }
 
 TEST_F(EstimatorTest, MinusOneLPowerThirtyPercentLower) {
@@ -223,8 +228,8 @@ TEST_F(ExperimentTest, ExperimentAndModelShareClock) {
         power::Scheme::kMerged}) {
     const Scenario s = base_scenario(scheme, 6);
     const Workload w = realize_workload(s);
-    EXPECT_NEAR(runner_.run(s, w).freq_mhz,
-                estimator_.estimate(s, w).freq_mhz, 1e-9)
+    EXPECT_NEAR(runner_.run(s, w).freq_mhz.value(),
+                estimator_.estimate(s, w).freq_mhz.value(), 1e-9)
         << power::to_string(scheme);
   }
 }
@@ -233,23 +238,25 @@ TEST_F(ExperimentTest, NvUsesKDevices) {
   const ExperimentResult r =
       runner_.run(base_scenario(power::Scheme::kNonVirtualized, 7));
   EXPECT_EQ(r.power.devices, 7u);
-  EXPECT_GT(r.power.static_w, 6.0 * 4.0);
+  EXPECT_GT(r.power.static_w.value(), 6.0 * 4.0);
 }
 
 TEST_F(ExperimentTest, DeterministicRuns) {
   const Scenario s = base_scenario(power::Scheme::kMerged, 5);
   const ExperimentResult a = runner_.run(s);
   const ExperimentResult b = runner_.run(s);
-  EXPECT_DOUBLE_EQ(a.power.total_w(), b.power.total_w());
+  EXPECT_DOUBLE_EQ(a.power.total_w().value(), b.power.total_w().value());
 }
 
 TEST_F(ExperimentTest, VsExperimentalPowerDecreasesWithK) {
   // Fig. 6's observation: tool optimizations shave power as identical
   // engines are replicated, while the model stays flat.
   const double p2 = runner_.run(base_scenario(power::Scheme::kSeparate, 2))
-                        .power.total_w();
+                        .power.total_w()
+                        .value();
   const double p15 = runner_.run(base_scenario(power::Scheme::kSeparate, 15))
-                         .power.total_w();
+                         .power.total_w()
+                         .value();
   EXPECT_LT(p15, p2);
 }
 
@@ -284,8 +291,8 @@ TEST_F(ValidatorTest, ErrorSignsAndComponents) {
   const ValidationPoint p =
       validator_.validate(base_scenario(power::Scheme::kSeparate, 8));
   EXPECT_NE(p.error_total_pct, 0.0);  // effects are on by default
-  EXPECT_GT(p.model.power.total_w(), 0.0);
-  EXPECT_GT(p.experiment.power.total_w(), 0.0);
+  EXPECT_GT(p.model.power.total_w().value(), 0.0);
+  EXPECT_GT(p.experiment.power.total_w().value(), 0.0);
   // Total error is a power-weighted blend of the component errors.
   const double lo = std::min(p.error_static_pct, p.error_dynamic_pct);
   const double hi = std::max(p.error_static_pct, p.error_dynamic_pct);

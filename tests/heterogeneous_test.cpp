@@ -74,9 +74,13 @@ TEST_F(HeterogeneousEstimateTest, PowerChangesOnlyMildlyWithSpread) {
   // The geometric-mean-preserving spread keeps the aggregate table
   // volume, so total power moves by far less than the size extremes.
   const double base =
-      validator_.estimator().estimate(spread_scenario(0.0)).power.total_w();
+      validator_.estimator().estimate(spread_scenario(0.0))
+          .power.total_w()
+          .value();
   const double spread =
-      validator_.estimator().estimate(spread_scenario(0.8)).power.total_w();
+      validator_.estimator().estimate(spread_scenario(0.8))
+          .power.total_w()
+          .value();
   EXPECT_NEAR(spread / base, 1.0, 0.05);
 }
 
@@ -101,7 +105,7 @@ TEST_F(HeterogeneousEstimateTest, NvDevicesDifferUnderSpread) {
   const Workload w = realize_workload(s);
   const ExperimentResult exp = validator_.runner().run(s, w);
   EXPECT_EQ(exp.power.devices, 4u);
-  EXPECT_GT(exp.power.total_w(), 4 * 4.0);
+  EXPECT_GT(exp.power.total_w().value(), 4 * 4.0);
 }
 
 }  // namespace

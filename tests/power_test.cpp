@@ -21,7 +21,7 @@ OperatingPoint default_op(double freq = 400.0,
                           fpga::SpeedGrade grade = fpga::SpeedGrade::kMinus2) {
   OperatingPoint op;
   op.grade = grade;
-  op.freq_mhz = freq;
+  op.freq_mhz = units::Megahertz{freq};
   return op;
 }
 
@@ -44,11 +44,11 @@ TEST(SchemeTest, DeviceAndEngineCounts) {
 
 TEST(SchemeTest, ThroughputScalesWithEnginesNotVns) {
   // NV and VS aggregate K engines; VM is time-shared (Sec. IV-C).
-  const double one = aggregate_throughput_gbps(Scheme::kMerged, 8, 400.0);
+  const double one = aggregate_throughput_gbps(Scheme::kMerged, 8, units::Megahertz{400.0}).value();
   EXPECT_NEAR(one, 128.0, 1e-9);
-  EXPECT_NEAR(aggregate_throughput_gbps(Scheme::kSeparate, 8, 400.0),
+  EXPECT_NEAR(aggregate_throughput_gbps(Scheme::kSeparate, 8, units::Megahertz{400.0}).value(),
               8 * 128.0, 1e-9);
-  EXPECT_NEAR(aggregate_throughput_gbps(Scheme::kNonVirtualized, 8, 400.0),
+  EXPECT_NEAR(aggregate_throughput_gbps(Scheme::kNonVirtualized, 8, units::Megahertz{400.0}).value(),
               8 * 128.0, 1e-9);
 }
 
@@ -59,14 +59,14 @@ TEST_F(AnalyticalModelTest, StageMemoryPowerFollowsTableIII) {
   op.bram_policy = fpga::BramPolicy::k36Only;
   // 100 Kbit -> ceil(100K/36K) = 3 blocks of 36 Kb.
   const double expected = 3 * 24.60e-6 * 300.0;
-  EXPECT_NEAR(model_.stage_memory_power_w(100 * 1024, op), expected, 1e-12);
+  EXPECT_NEAR(model_.stage_memory_power_w(units::Bits{100 * 1024}, op).value(), expected, 1e-12);
 }
 
 TEST_F(AnalyticalModelTest, StageLogicPowerFollowsSectionVC) {
-  EXPECT_NEAR(model_.stage_logic_power_w(default_op(250.0)),
+  EXPECT_NEAR(model_.stage_logic_power_w(default_op(250.0)).value(),
               5.18e-6 * 250.0, 1e-12);
   EXPECT_NEAR(model_.stage_logic_power_w(
-                  default_op(250.0, fpga::SpeedGrade::kMinus1L)),
+                  default_op(250.0, fpga::SpeedGrade::kMinus1L)).value(),
               3.937e-6 * 250.0, 1e-12);
 }
 
@@ -76,7 +76,7 @@ TEST_F(AnalyticalModelTest, NvStaticScalesWithK) {
   for (std::size_t k : {1u, 4u, 15u}) {
     const std::vector<EngineSpec> engines(k, engine);
     const PowerBreakdown p = model_.estimate_nv(engines, default_op());
-    EXPECT_NEAR(p.static_w, static_cast<double>(k) * 4.5, 1e-9);
+    EXPECT_NEAR(p.static_w.value(), static_cast<double>(k) * 4.5, 1e-9);
     EXPECT_EQ(p.devices, k);
   }
 }
@@ -86,7 +86,7 @@ TEST_F(AnalyticalModelTest, VsStaticPaidOnce) {
   const EngineSpec engine = uniform_engine(28, 30000);
   const std::vector<EngineSpec> engines(10, engine);
   const PowerBreakdown p = model_.estimate_vs(engines, default_op());
-  EXPECT_NEAR(p.static_w, 4.5, 1e-9);
+  EXPECT_NEAR(p.static_w.value(), 4.5, 1e-9);
   EXPECT_EQ(p.devices, 1u);
 }
 
@@ -96,7 +96,7 @@ TEST_F(AnalyticalModelTest, NvAndVsShareDynamicPower) {
   const std::vector<EngineSpec> engines(6, engine);
   const PowerBreakdown nv = model_.estimate_nv(engines, default_op());
   const PowerBreakdown vs = model_.estimate_vs(engines, default_op());
-  EXPECT_NEAR(nv.dynamic_w(), vs.dynamic_w(), 1e-12);
+  EXPECT_NEAR(nv.dynamic_w().value(), vs.dynamic_w().value(), 1e-12);
 }
 
 TEST_F(AnalyticalModelTest, UniformUtilizationMakesDynamicKIndependent) {
@@ -108,7 +108,7 @@ TEST_F(AnalyticalModelTest, UniformUtilizationMakesDynamicKIndependent) {
       model_.estimate_vs(std::vector<EngineSpec>(1, engine), default_op());
   const PowerBreakdown p12 =
       model_.estimate_vs(std::vector<EngineSpec>(12, engine), default_op());
-  EXPECT_NEAR(p1.dynamic_w(), p12.dynamic_w(), 1e-12);
+  EXPECT_NEAR(p1.dynamic_w().value(), p12.dynamic_w().value(), 1e-12);
 }
 
 TEST_F(AnalyticalModelTest, ExplicitUtilizationWeighting) {
@@ -121,7 +121,7 @@ TEST_F(AnalyticalModelTest, ExplicitUtilizationWeighting) {
   op_single.utilization = {1.0};
   const PowerBreakdown single =
       model_.estimate_vs(std::vector<EngineSpec>(1, engine), op_single);
-  EXPECT_NEAR(p.dynamic_w(), single.dynamic_w(), 1e-12);
+  EXPECT_NEAR(p.dynamic_w().value(), single.dynamic_w().value(), 1e-12);
 }
 
 TEST_F(AnalyticalModelTest, VmAggregatesUtilization) {
@@ -129,8 +129,8 @@ TEST_F(AnalyticalModelTest, VmAggregatesUtilization) {
   const EngineSpec merged = uniform_engine(28, 200000);
   const PowerBreakdown p = model_.estimate_vm(merged, 8, default_op());
   const PowerBreakdown p1 = model_.estimate_vm(merged, 1, default_op());
-  EXPECT_NEAR(p.dynamic_w(), p1.dynamic_w(), 1e-12);  // Σµ = 1 either way
-  EXPECT_NEAR(p.static_w, 4.5, 1e-9);
+  EXPECT_NEAR(p.dynamic_w().value(), p1.dynamic_w().value(), 1e-12);  // Σµ = 1 either way
+  EXPECT_NEAR(p.static_w.value(), 4.5, 1e-9);
 }
 
 TEST_F(AnalyticalModelTest, PowerScalesLinearlyWithFrequency) {
@@ -139,7 +139,7 @@ TEST_F(AnalyticalModelTest, PowerScalesLinearlyWithFrequency) {
   const PowerBreakdown lo = model_.estimate_vs(engines, default_op(100.0));
   const PowerBreakdown hi = model_.estimate_vs(engines, default_op(400.0));
   EXPECT_NEAR(hi.dynamic_w() / lo.dynamic_w(), 4.0, 1e-9);
-  EXPECT_NEAR(hi.static_w, lo.static_w, 1e-12);  // static is f-independent
+  EXPECT_NEAR(hi.static_w.value(), lo.static_w.value(), 1e-12);  // static is f-independent
 }
 
 TEST_F(AnalyticalModelTest, LowPowerGradeSavesRoughlyThirtyPercent) {
@@ -194,8 +194,8 @@ TEST(ResourceModelTest, TotalsScaleWithK) {
       Scheme::kSeparate, memory, 1, fpga::BramPolicy::kMixed);
   const SchemeResources ten = replicated_resources(
       Scheme::kSeparate, memory, 10, fpga::BramPolicy::kMixed);
-  EXPECT_EQ(ten.pointer_bits, 10 * one.pointer_bits);
-  EXPECT_EQ(ten.nhi_bits, 10 * one.nhi_bits);
+  EXPECT_EQ(ten.pointer_bits.value(), 10 * one.pointer_bits.value());
+  EXPECT_EQ(ten.nhi_bits.value(), 10 * one.nhi_bits.value());
   EXPECT_EQ(ten.luts, 10 * one.luts);
 }
 
@@ -205,7 +205,7 @@ TEST(ResourceModelTest, MergedSingleEngine) {
       merged_resources(memory, 12, fpga::BramPolicy::kMixed);
   EXPECT_EQ(vm.devices, 1u);
   EXPECT_EQ(vm.engines, 1u);
-  EXPECT_EQ(vm.pointer_bits, memory.total_pointer_bits());
+  EXPECT_EQ(vm.pointer_bits.value(), memory.total_pointer_bits());
   EXPECT_EQ(vm.io_pins, fpga::IoBudget{}.required(1));
 }
 
@@ -249,16 +249,20 @@ TEST(ResourceModelTest, MaxVnCountScansUpward) {
 // ------------------------------------------------------------ efficiency --
 
 TEST(EfficiencyTest, MwPerGbps) {
-  EXPECT_DOUBLE_EQ(mw_per_gbps(4.5, 128.0), 4500.0 / 128.0);
-  EXPECT_DOUBLE_EQ(mw_per_gbps(4.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mw_per_gbps(units::Watts{4.5}, units::Gbps{128.0}).value(),
+                   4500.0 / 128.0);
+  EXPECT_DOUBLE_EQ(mw_per_gbps(units::Watts{4.5}, units::Gbps{0.0}).value(),
+                   0.0);
 }
 
 TEST(EfficiencyTest, SchemeEfficiencyUsesAggregateThroughput) {
   PowerBreakdown p;
-  p.static_w = 4.5;
-  p.freq_mhz = 400.0;
-  const double vs = scheme_efficiency_mw_per_gbps(Scheme::kSeparate, 8, p);
-  const double vm = scheme_efficiency_mw_per_gbps(Scheme::kMerged, 8, p);
+  p.static_w = units::Watts{4.5};
+  p.freq_mhz = units::Megahertz{400.0};
+  const double vs =
+      scheme_efficiency_mw_per_gbps(Scheme::kSeparate, 8, p).value();
+  const double vm =
+      scheme_efficiency_mw_per_gbps(Scheme::kMerged, 8, p).value();
   EXPECT_NEAR(vm / vs, 8.0, 1e-9);  // VM divides by a single engine's rate
 }
 

@@ -113,7 +113,7 @@ TEST(WorkloadCacheTest, KeyIgnoresFieldsRealizationNeverReads) {
   Scenario b = a;
   // Grade, frequency, BRAM policy: power-model inputs, not workload inputs.
   b.grade = fpga::SpeedGrade::kMinus1L;
-  b.freq_mhz = 250.0;
+  b.freq_mhz = units::Megahertz{250.0};
   b.bram_policy = fpga::BramPolicy::k18Only;
   EXPECT_EQ(WorkloadCache::key(a, false), WorkloadCache::key(b, false));
 }

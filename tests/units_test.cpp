@@ -1,0 +1,139 @@
+// The strong quantity types in common/units.hpp: round-trip conversions,
+// constexpr evaluation, the dimensional algebra (including the paper's
+// µW/MHz ≡ pJ/cycle coefficient identity), and the idle-operating-point
+// guards. The *negative* half of the contract — that dimensionally wrong
+// code does not compile — lives in tests/compile_fail/ and runs as the
+// `static_gate_compile_*` ctest cases.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "common/units.hpp"
+
+namespace vr::units {
+namespace {
+
+// ------------------------------------------------- constexpr evaluation --
+// Everything below is evaluated at compile time; the static_asserts are
+// the test.
+
+static_assert(Watts{2.0}.value() == 2.0);
+static_assert((Watts{1.5} + Watts{0.5}).value() == 2.0);
+static_assert((Watts{3.0} - Watts{1.0}).value() == 2.0);
+static_assert((-Watts{2.0}).value() == -2.0);
+static_assert((Watts{2.0} * 3.0).value() == 6.0);
+static_assert((3.0 * Watts{2.0}).value() == 6.0);
+static_assert((Watts{6.0} / 3.0).value() == 2.0);
+static_assert(Watts{6.0} / Watts{3.0} == 2.0);  // dimensionless ratio
+static_assert(Watts{1.0} < Watts{2.0});
+static_assert(Watts{2.0} == Watts{2.0});
+static_assert(to_watts(Milliwatts{1500.0}).value() == 1.5);
+static_assert(to_watts(Microwatts{2'000'000.0}).value() == 2.0);
+static_assert(to_milliwatts(Watts{1.5}).value() == 1500.0);
+static_assert(to_microwatts(Watts{1.5}).value() == 1'500'000.0);
+static_assert(Bits{2048}.value() == 2048u);
+static_assert(bits_to_kbits(Bits{2048}) == 2.0);
+static_assert((Picojoules{10.0} / Cycles{4.0}).value() == 2.5);
+static_assert((PjPerCycle{2.0} * Megahertz{300.0}).value() == 600.0);
+static_assert((Megahertz{300.0} * PjPerCycle{2.0}).value() == 600.0);
+static_assert((Milliwatts{640.0} / Gbps{128.0}).value() == 5.0);
+
+// Quantities stay trivially copyable value types — no hidden overhead
+// relative to the raw doubles they replaced.
+static_assert(std::is_trivially_copyable_v<Watts>);
+static_assert(std::is_trivially_copyable_v<Bits>);
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(sizeof(Bits) == sizeof(std::uint64_t));
+
+// Construction is explicit: no silent adoption of raw representations.
+static_assert(!std::is_convertible_v<double, Watts>);
+static_assert(!std::is_convertible_v<double, Megahertz>);
+static_assert(!std::is_convertible_v<Milliwatts, Watts>);
+static_assert(!std::is_convertible_v<Watts, Milliwatts>);
+static_assert(std::is_constructible_v<Watts, double>);
+
+// ------------------------------------------------------------ round trips --
+
+TEST(UnitsTest, MilliwattRoundTripIsExactForRepresentableValues) {
+  const Watts w{3.824};
+  EXPECT_DOUBLE_EQ(to_watts(to_milliwatts(w)).value(), w.value());
+  const Milliwatts mw{17.25};
+  EXPECT_DOUBLE_EQ(to_milliwatts(to_watts(mw)).value(), mw.value());
+}
+
+TEST(UnitsTest, MicrowattRoundTrip) {
+  const Watts w{0.001625};
+  EXPECT_DOUBLE_EQ(to_watts(to_microwatts(w)).value(), w.value());
+}
+
+TEST(UnitsTest, TypedHelpersMatchRawHelpers) {
+  EXPECT_DOUBLE_EQ(
+      average_power(Picojoules{5000.0}, Cycles{100.0}, Megahertz{400.0})
+          .value(),
+      pj_over_cycles_to_w(5000.0, 100.0, 400.0));
+  EXPECT_DOUBLE_EQ(
+      lookup_throughput(Megahertz{400.0}, kMinPacketBytes).value(),
+      lookup_throughput_gbps(400.0, kMinPacketBytes));
+}
+
+// ---------------------------------------------------- dimensional algebra --
+
+TEST(UnitsTest, CoefficientIdentityMatchesPaperTableIII) {
+  // Paper Table III: an 18 Kb BRAM at grade -2 burns c µW at f MHz with
+  // P = c·f. The typed identity must agree with the raw arithmetic.
+  const PjPerCycle c{1.48};
+  const Megahertz f{400.0};
+  const Microwatts p = c * f;
+  EXPECT_DOUBLE_EQ(p.value(), 1.48 * 400.0);
+  EXPECT_DOUBLE_EQ(to_watts(p).value(), uw_to_w(1.48 * 400.0));
+}
+
+TEST(UnitsTest, EfficiencyMetricCombinesPowerAndThroughput) {
+  const Watts total{4.0};
+  const Gbps throughput = lookup_throughput(Megahertz{400.0}, 40.0);
+  EXPECT_DOUBLE_EQ(throughput.value(), 128.0);
+  const MwPerGbps eff = to_milliwatts(total) / throughput;
+  EXPECT_DOUBLE_EQ(eff.value(), 4000.0 / 128.0);
+}
+
+TEST(UnitsTest, CompoundAssignmentOperators) {
+  Watts w{1.0};
+  w += Watts{2.0};
+  EXPECT_DOUBLE_EQ(w.value(), 3.0);
+  w -= Watts{0.5};
+  EXPECT_DOUBLE_EQ(w.value(), 2.5);
+  w *= 4.0;
+  EXPECT_DOUBLE_EQ(w.value(), 10.0);
+  w /= 5.0;
+  EXPECT_DOUBLE_EQ(w.value(), 2.0);
+}
+
+TEST(UnitsTest, IntegerBitsArithmetic) {
+  Bits total{};
+  total += Bits{18 * 1024};
+  total += Bits{36 * 1024};
+  EXPECT_EQ(total.value(), 54u * 1024u);
+  EXPECT_DOUBLE_EQ(bits_to_kbits(total), 54.0);
+}
+
+// -------------------------------------------------- idle-operating guards --
+
+TEST(UnitsTest, ZeroFrequencyOperatingPointHasZeroAveragePower) {
+  // Satellite fix: a clock-gated point (f = 0) must not divide by zero.
+  EXPECT_EQ(pj_over_cycles_to_w(1000.0, 100.0, 0.0), 0.0);
+  EXPECT_EQ(pj_over_cycles_to_w(1000.0, 100.0, -50.0), 0.0);
+  EXPECT_EQ(pj_over_cycles_to_w(1000.0, 0.0, 400.0), 0.0);
+  EXPECT_EQ(
+      average_power(Picojoules{1000.0}, Cycles{100.0}, Megahertz{0.0})
+          .value(),
+      0.0);
+}
+
+TEST(UnitsTest, PositiveOperatingPointUnaffectedByGuard) {
+  // P = 1000 pJ over 100 cycles at 400 MHz: t = 100/(4e8) s = 250 ns,
+  // P = 1e-9 J / 2.5e-7 s = 4 mW.
+  EXPECT_DOUBLE_EQ(pj_over_cycles_to_w(1000.0, 100.0, 400.0), 0.004);
+}
+
+}  // namespace
+}  // namespace vr::units

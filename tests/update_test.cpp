@@ -330,12 +330,15 @@ TEST(UpdatableMergedTrieTest, RejectsTooManyVns) {
 // ----------------------------------------------------- update power model --
 
 TEST(UpdatePowerTest, BaselineRateIsNeutral) {
-  EXPECT_DOUBLE_EQ(power::adjusted_bram_power_w(2.0, 0.01), 2.0);
+  EXPECT_DOUBLE_EQ(
+      power::adjusted_bram_power_w(units::Watts{2.0}, 0.01).value(), 2.0);
 }
 
 TEST(UpdatePowerTest, PowerRisesWithWriteRate) {
-  const double base = power::adjusted_bram_power_w(2.0, 0.01);
-  const double busy = power::adjusted_bram_power_w(2.0, 0.5);
+  const double base =
+      power::adjusted_bram_power_w(units::Watts{2.0}, 0.01).value();
+  const double busy =
+      power::adjusted_bram_power_w(units::Watts{2.0}, 0.5).value();
   EXPECT_GT(busy, base);
   EXPECT_NEAR(busy, 2.0 * (1.0 + 0.30 * 0.49), 1e-12);
 }
@@ -345,9 +348,10 @@ TEST(UpdatePowerTest, SlotStealingReducesCapacity) {
   load.updates_per_second = 1e6;
   load.words_per_update = 40.0;
   // 40e6 writes/s at 400 MHz = 10 % of slots.
-  EXPECT_NEAR(load.write_slot_fraction(400.0), 0.1, 1e-12);
-  EXPECT_NEAR(power::effective_lookup_gbps(400.0, load), 0.9 * 128.0,
-              1e-9);
+  EXPECT_NEAR(load.write_slot_fraction(units::Megahertz{400.0}), 0.1, 1e-12);
+  EXPECT_NEAR(
+      power::effective_lookup_gbps(units::Megahertz{400.0}, load).value(),
+      0.9 * 128.0, 1e-9);
 }
 
 TEST(UpdatePowerTest, MeasuredLoadMatchesManualReplay) {

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Project-specific unit lint for the vrpower tree.
+
+Two rules, both about keeping physical quantities honest:
+
+1. Typed boundary (src/power/*.hpp, src/core/*.hpp): public power-model
+   headers must not declare naked-`double` parameters or members that carry
+   a physical dimension (power, frequency, energy, throughput, memory
+   size). Those must use the strong quantity types from common/units.hpp
+   (units::Watts, units::Megahertz, units::Bits, ...). Dimensionless
+   quantities (utilizations, alpha, percentages, rates) stay `double`.
+
+2. Suffix convention (every other header under src/): a `double` whose
+   name mentions a dimensioned concept must spell its unit as a suffix
+   (`power_w`, `freq_mhz`, `throughput_gbps`, ...) so readers and future
+   migrations know what the number means.
+
+A declaration can be exempted with an inline comment on the same or the
+preceding line:
+
+    double weird_power;  // units-ok: calibration scratch value
+
+Run:  tools/check_units.py [--root DIR]
+Exit: 0 clean, 1 violations found, 2 usage error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Concepts that imply a physical dimension when they appear in a name.
+DIMENSIONED = re.compile(
+    r"(?:^|_)(power|freq|frequency|energy|watt|watts|throughput)(?:_|$)|"
+    r"_(w|mw|uw|mhz|ghz|pj|gbps|mbps|bits|kbits|joules)$"
+)
+
+# Unit suffixes that satisfy rule 2 (and names that *are* unit words,
+# e.g. the conversion-helper parameters in common/units.hpp).
+SUFFIX_OK = re.compile(
+    r"_(w|mw|uw|mhz|ghz|hz|pj|pj_per_cycle|gbps|mbps|bits|kbits|bytes|"
+    r"pct|percent|ns|us|ms|s|seconds|per_second|per_cycle|per_mhz)$"
+)
+UNIT_WORDS = {
+    "watts", "milliwatts", "microwatts", "megahertz", "picojoules",
+    "cycles", "gbps", "coefficient", "packet_bytes",
+}
+
+# `double name` as a parameter or member. Keeps to single declarations;
+# good enough for this codebase's style (one declaration per line).
+DOUBLE_DECL = re.compile(r"\bdouble\s+(?:&\s*)?([A-Za-z_][A-Za-z0-9_]*)")
+
+SUPPRESS = re.compile(r"//\s*units-ok\b")
+
+
+def strip_comment(line: str) -> str:
+    return line.split("//", 1)[0]
+
+
+def lint_file(path: pathlib.Path, typed_boundary: bool) -> list[str]:
+    problems = []
+    lines = path.read_text().splitlines()
+    for i, raw in enumerate(lines):
+        if SUPPRESS.search(raw) or (i > 0 and SUPPRESS.search(lines[i - 1])):
+            continue
+        code = strip_comment(raw)
+        for m in DOUBLE_DECL.finditer(code):
+            name = m.group(1)
+            if name in UNIT_WORDS:
+                continue
+            if not DIMENSIONED.search(name):
+                continue
+            if typed_boundary:
+                problems.append(
+                    f"{path}:{i + 1}: naked-double dimensioned quantity "
+                    f"'{name}' in a typed-boundary header — use a "
+                    f"units:: quantity type (or annotate '// units-ok: "
+                    f"<reason>')"
+                )
+            elif not SUFFIX_OK.search(name):
+                problems.append(
+                    f"{path}:{i + 1}: dimensioned double '{name}' has no "
+                    f"unit suffix (expected e.g. '{name}_w', '{name}_mhz')"
+                )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print(f"check_units: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    problems = []
+    for path in sorted(src.rglob("*.hpp")):
+        rel = path.relative_to(src)
+        typed = rel.parts[0] in ("power", "core")
+        # units.hpp itself defines the raw conversion helpers.
+        if rel == pathlib.Path("common/units.hpp"):
+            typed = False
+        problems += lint_file(path, typed)
+
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"check_units: {len(problems)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_units: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# The project static-analysis gate:
+#
+#   1. tools/check_units.py  — the unit lint (always runs; pure python3).
+#   2. clang-tidy over src/  — runs when clang-tidy is on PATH and a
+#      compile_commands.json exists; skipped with a notice otherwise
+#      (this container ships gcc only — the gate must not silently rot,
+#      but it also must not fail on a toolchain it cannot fix).
+#
+# Usage: tools/static_check.sh [build-dir]
+#   build-dir  where compile_commands.json lives (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+status=0
+
+echo "== static gate: unit lint =="
+python3 "${repo_root}/tools/check_units.py" --root "${repo_root}" || status=1
+
+echo "== static gate: clang-tidy =="
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "clang-tidy not installed — skipping the tidy prong" \
+       "(unit lint still gates)."
+elif [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "no ${build_dir}/compile_commands.json — configure with" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first." >&2
+  status=1
+else
+  mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+  if command -v run-clang-tidy > /dev/null 2>&1; then
+    run-clang-tidy -p "${build_dir}" -quiet "${sources[@]}" || status=1
+  else
+    clang-tidy -p "${build_dir}" --quiet "${sources[@]}" || status=1
+  fi
+fi
+
+if [[ ${status} -ne 0 ]]; then
+  echo "static_check: FAILED" >&2
+  exit 1
+fi
+echo "static_check: clean"
