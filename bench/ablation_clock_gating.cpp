@@ -14,7 +14,7 @@
 int main() {
   using namespace vr;
   constexpr std::size_t kStages = 28;
-  constexpr double kFreqMhz = 300.0;
+  constexpr vr::units::Megahertz kFreqMhz{300.0};
 
   net::TableProfile profile;
   profile.prefix_count = 2000;
@@ -54,16 +54,17 @@ int main() {
     const pipeline::EnginePower measured = pipeline::measure_engine_power(
         router.engine(0).activity(), plan, fpga::SpeedGrade::kMinus2,
         kFreqMhz);
-    double full_power = 0.0;  // all stages clocked every cycle
+    units::Watts full_power;  // all stages clocked every cycle
     full_power += fpga::XpeTables::logic_power_w(fpga::SpeedGrade::kMinus2,
                                                  kStages, kFreqMhz);
     full_power += plan.total.power_w(fpga::SpeedGrade::kMinus2, kFreqMhz);
     // Analytical µ-weighting uses the actual achieved utilization (the
     // simulated trace includes ramp-in/drain cycles).
     const double util = router.engine(0).activity().mean_stage_utilization();
-    out.add_point(duty, {units::w_to_mw(measured.dynamic_w()),
-                         units::w_to_mw(full_power * util),
-                         units::w_to_mw(full_power)});
+    out.add_point(duty,
+                  {units::to_milliwatts(measured.dynamic_w()).value(),
+                   units::to_milliwatts(full_power * util).value(),
+                   units::to_milliwatts(full_power).value()});
   }
   vr::bench::emit(out);
   return 0;

@@ -11,7 +11,7 @@
 
 int main() {
   using namespace vr;
-  constexpr double kFreqMhz = 350.0;
+  constexpr vr::units::Megahertz kFreqMhz{350.0};
   const fpga::SpeedGrade grade = fpga::SpeedGrade::kMinus2;
 
   std::cout << "distRAM/BRAM crossover: "
@@ -34,14 +34,14 @@ int main() {
   std::uint64_t dist_luts = 0;
   for (std::size_t s = 0; s < 28; ++s) {
     const std::uint64_t bits = memory.stage_bits(s);
-    const double bram_w =
-        fpga::allocate_bram(bits, fpga::BramPolicy::kMixed)
-            .power_w(grade, kFreqMhz);
-    const double dist_w = fpga::distram_power_w(bits, kFreqMhz);
+    const double bram_w = fpga::allocate_bram(bits, fpga::BramPolicy::kMixed)
+                              .power_w(grade, kFreqMhz)
+                              .value();
+    const double dist_w = fpga::distram_power_w(bits, kFreqMhz).value();
     const fpga::StageMemoryChoice choice =
         fpga::choose_stage_memory(bits, grade, kFreqMhz);
     bram_total += bram_w;
-    hybrid_total += choice.power_w;
+    hybrid_total += choice.power_w.value();
     dist_luts += choice.luts;
     if (bits > 0 && s % 3 == 0) {  // sample rows to keep the table short
       out.add_row({std::to_string(s), std::to_string(bits),

@@ -28,20 +28,22 @@ int main() {
     resources.bram_halves = plan.total.halves();
     resources.max_stage_blocks36eq = plan.max_stage_blocks36eq;
     resources.pipelines = 1;
-    const double freq = fpga::achievable_fmax_mhz(
+    const units::Megahertz freq = fpga::achievable_fmax_mhz(
         device, fpga::SpeedGrade::kMinus2, resources);
-    const double logic_w = fpga::XpeTables::logic_power_w(
-        fpga::SpeedGrade::kMinus2, trie.level_count(), freq);
+    const double logic_w =
+        fpga::XpeTables::logic_power_w(fpga::SpeedGrade::kMinus2,
+                                       trie.level_count(), freq)
+            .value();
     const double bram_w =
-        plan.total.power_w(fpga::SpeedGrade::kMinus2, freq);
+        plan.total.power_w(fpga::SpeedGrade::kMinus2, freq).value();
     const double gbps =
-        units::lookup_throughput_gbps(freq, units::kMinPacketBytes);
+        units::lookup_throughput(freq, units::kMinPacketBytes).value();
     out.add_row(
         {std::to_string(stride), std::to_string(trie.level_count()),
          std::to_string(trie.node_count()),
          TextTable::num(static_cast<double>(trie.memory_bits()) / 1024.0,
                         0),
-         TextTable::num(freq, 1), TextTable::num(logic_w * 1e3, 2),
+         TextTable::num(freq.value(), 1), TextTable::num(logic_w * 1e3, 2),
          TextTable::num(bram_w * 1e3, 2),
          TextTable::num((logic_w + bram_w) * 1e3, 2),
          TextTable::num(gbps, 1),

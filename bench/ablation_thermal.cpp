@@ -33,8 +33,9 @@ int main() {
       const double static_per_device = est.power.static_w.value() / devices;
       const double dynamic_per_device = est.power.dynamic_w().value() / devices;
       const fpga::ThermalOperatingPoint point =
-          fpga::solve_thermal(static_per_device, dynamic_per_device);
-      const double settled_total = point.total_w * devices;
+          fpga::solve_thermal(units::Watts{static_per_device},
+                              units::Watts{dynamic_per_device});
+      const double settled_total = point.total_w.value() * devices;
       out.add_row(
           {power::to_string(scheme), std::to_string(k),
            TextTable::num(est.power.total_w().value(), 2),

@@ -39,7 +39,8 @@ int main() {
   }
   const double bram_w =
       fpga::plan_stage_bram(stage_bits, fpga::BramPolicy::kMixed)
-          .total.power_w(fpga::SpeedGrade::kMinus2, kFreq.value());
+          .total.power_w(fpga::SpeedGrade::kMinus2, kFreq)
+          .value();
 
   SeriesTable table(
       "Ablation - update rate: BRAM power shift and capacity loss "

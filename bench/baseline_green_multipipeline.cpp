@@ -34,10 +34,10 @@ int main() {
                  std::to_string(sweep.pipelines),
                  std::to_string(report.pipeline_depth),
                  TextTable::num(report.balance_factor, 2),
-                 TextTable::num(report.freq_mhz, 1),
-                 TextTable::num(report.total_w(), 3),
-                 TextTable::num(report.throughput_gbps, 1),
-                 TextTable::num(report.mw_per_gbps(), 2)});
+                 TextTable::num(report.freq_mhz.value(), 1),
+                 TextTable::num(report.total_w().value(), 3),
+                 TextTable::num(report.throughput_gbps.value(), 1),
+                 TextTable::num(report.mw_per_gbps().value(), 2)});
   }
   vr::bench::emit(out);
   std::cout

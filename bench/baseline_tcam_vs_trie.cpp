@@ -24,10 +24,10 @@ int main() {
   const tcam::TcamPowerReport flat_power = tcam::tcam_power(flat);
   out.add_row({"flat TCAM", std::to_string(flat.entry_count()),
                std::to_string(tcam_params.chip_capacity_entries) + " (array)",
-               TextTable::num(flat_power.dynamic_w, 3),
-               TextTable::num(flat_power.static_w, 3),
-               TextTable::num(flat_power.throughput_gbps, 1),
-               TextTable::num(flat_power.mw_per_gbps(), 2)});
+               TextTable::num(flat_power.dynamic_w.value(), 3),
+               TextTable::num(flat_power.static_w.value(), 3),
+               TextTable::num(flat_power.throughput_gbps.value(), 1),
+               TextTable::num(flat_power.mw_per_gbps().value(), 2)});
 
   for (const unsigned bits : {3u, 6u}) {
     const tcam::PartitionedTcam banked(table, bits);
@@ -37,10 +37,10 @@ int main() {
                  std::to_string(tcam_params.chip_capacity_entries /
                                 banked.bank_count()) +
                      " (bank)",
-                 TextTable::num(power.dynamic_w, 3),
-                 TextTable::num(power.static_w, 3),
-                 TextTable::num(power.throughput_gbps, 1),
-                 TextTable::num(power.mw_per_gbps(), 2)});
+                 TextTable::num(power.dynamic_w.value(), 3),
+                 TextTable::num(power.static_w.value(), 3),
+                 TextTable::num(power.throughput_gbps.value(), 1),
+                 TextTable::num(power.mw_per_gbps().value(), 2)});
   }
 
   // Trie pipeline (this paper's substrate): 28 stages on the XC6VLX760,
@@ -63,15 +63,16 @@ int main() {
   resources.bram_halves = plan.total.halves();
   resources.max_stage_blocks36eq = plan.max_stage_blocks36eq;
   resources.pipelines = 1;
-  const double freq = fpga::achievable_fmax_mhz(
+  const units::Megahertz freq = fpga::achievable_fmax_mhz(
       device, fpga::SpeedGrade::kMinus2, resources);
   const double trie_dynamic =
-      fpga::XpeTables::logic_power_w(fpga::SpeedGrade::kMinus2, 28, freq) +
-      plan.total.power_w(fpga::SpeedGrade::kMinus2, freq);
+      (fpga::XpeTables::logic_power_w(fpga::SpeedGrade::kMinus2, 28, freq) +
+       plan.total.power_w(fpga::SpeedGrade::kMinus2, freq))
+          .value();
   const double trie_gbps =
-      units::lookup_throughput_gbps(freq, units::kMinPacketBytes);
+      units::lookup_throughput(freq, units::kMinPacketBytes).value();
   const double trie_static =
-      device.static_power_w(fpga::SpeedGrade::kMinus2);
+      device.static_power_w(fpga::SpeedGrade::kMinus2).value();
   out.add_row({"BRAM trie pipeline", std::to_string(trie.node_count()),
                "1 stage-word/stage", TextTable::num(trie_dynamic, 3),
                TextTable::num(trie_static, 3), TextTable::num(trie_gbps, 1),

@@ -41,13 +41,15 @@ EngineNumbers evaluate(const std::vector<std::uint64_t>& level_bits,
   resources.max_stage_blocks36eq = plan.max_stage_blocks36eq;
   resources.pipelines = 1;
   const fpga::DeviceSpec device = fpga::DeviceSpec::xc6vlx760();
-  out.freq_mhz = fpga::achievable_fmax_mhz(
+  const units::Megahertz freq = fpga::achievable_fmax_mhz(
       device, fpga::SpeedGrade::kMinus2, resources);
+  out.freq_mhz = freq.value();
   out.logic_mw = fpga::XpeTables::logic_power_w(fpga::SpeedGrade::kMinus2,
-                                                stages, out.freq_mhz) *
+                                                stages, freq)
+                     .value() *
                  1e3;
   out.bram_mw =
-      plan.total.power_w(fpga::SpeedGrade::kMinus2, out.freq_mhz) * 1e3;
+      plan.total.power_w(fpga::SpeedGrade::kMinus2, freq).value() * 1e3;
   return out;
 }
 

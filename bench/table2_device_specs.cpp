@@ -24,21 +24,25 @@ int main() {
   table.add_row({"Max. I/O pins", std::to_string(spec.io_pins)});
   table.add_row({"Static power (-2)",
                  TextTable::num(spec.static_power_w(
-                                    fpga::SpeedGrade::kMinus2),
+                                        fpga::SpeedGrade::kMinus2)
+                                    .value(),
                                 2) +
                      " W"});
   table.add_row({"Static power (-1L)",
                  TextTable::num(spec.static_power_w(
-                                    fpga::SpeedGrade::kMinus1L),
+                                        fpga::SpeedGrade::kMinus1L)
+                                    .value(),
                                 2) +
                      " W"});
   table.add_row({"Base Fmax (-2)",
-                 TextTable::num(spec.base_fmax_mhz(fpga::SpeedGrade::kMinus2),
+                 TextTable::num(spec.base_fmax_mhz(fpga::SpeedGrade::kMinus2)
+                                    .value(),
                                 0) +
                      " MHz"});
   table.add_row(
       {"Base Fmax (-1L)",
-       TextTable::num(spec.base_fmax_mhz(fpga::SpeedGrade::kMinus1L), 0) +
+       TextTable::num(spec.base_fmax_mhz(fpga::SpeedGrade::kMinus1L).value(),
+                      0) +
            " MHz"});
   vr::bench::emit(table);
   return 0;

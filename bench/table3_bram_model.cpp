@@ -23,7 +23,8 @@ int main() {
               {BramKind::k18, SpeedGrade::kMinus1L},
               {BramKind::k36, SpeedGrade::kMinus1L}};
   for (const auto& row : rows) {
-    const double c = fpga::XpeTables::bram_uw_per_mhz(row.kind, row.grade);
+    const double c =
+        fpga::XpeTables::bram_uw_per_mhz(row.kind, row.grade).value();
     table.add_row({std::string(to_string(row.kind)) + " (" +
                        fpga::to_string(row.grade) + ")",
                    "ceil(M/" + std::string(to_string(row.kind)) + ") x " +
@@ -42,7 +43,7 @@ int main() {
                        24.60 * 400.0);
     const auto alloc = fpga::allocate_bram(bits, fpga::BramPolicy::k36Only);
     const double from_alloc =
-        alloc.power_w(SpeedGrade::kMinus2, 400.0);
+        alloc.power_w(SpeedGrade::kMinus2, units::Megahertz{400.0}).value();
     check.add_point(static_cast<double>(kbits), {closed, from_alloc});
   }
   vr::bench::emit(check);

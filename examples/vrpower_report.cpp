@@ -133,8 +133,10 @@ int main(int argc, char** argv) {
     const auto& r = point.model.resources;
     std::cout << "\nResources: " << r.devices << " device(s), " << r.engines
               << " engine(s), " << r.stages_per_engine << " stages each; "
-              << r.pointer_bits.value() / 1024 << " Kb pointer + "
-              << r.nhi_bits.value() / 1024 << " Kb NHI memory; "
+              << TextTable::num(units::bits_to_kbits(r.pointer_bits), 1)
+              << " Kb pointer + "
+              << TextTable::num(units::bits_to_kbits(r.nhi_bits), 1)
+              << " Kb NHI memory; "
               << r.bram_per_device.total.halves()
               << " BRAM halves on the busiest device; " << r.io_pins
               << " I/O pins.\n";

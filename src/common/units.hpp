@@ -2,11 +2,13 @@
 //
 // Historically the library passed physical quantities as plain doubles with
 // the unit encoded in the identifier name (e.g. `power_w`, `freq_mhz`,
-// `memory_bits`). That convention still holds for low-level internals (the
-// fpga/ coefficient tables, the pipeline simulator counters), but every
-// public power-model API now trades in the strong quantity types below, so
-// a mW/W or µW-per-MHz-coefficient confusion is a compile error instead of
-// a ±3 %-validation surprise. The conventions are:
+// `memory_bits`). That convention now survives only in calibration scalars
+// (parameter-struct coefficients annotated `// units-ok`) and in `.cpp`
+// intermediates: every power- or frequency-carrying API — the public
+// src/power + src/core surface AND the fpga/pipeline/multipipe/tcam
+// internals down to the XPE coefficient tables — trades in the strong
+// quantity types below, so a mW/W or µW-per-MHz-coefficient confusion is a
+// compile error instead of a ±3 %-validation surprise. The conventions are:
 //
 //   power        watts (W)            — model outputs
 //   energy       picojoules (pJ)      — per-cycle accounting in the simulator
@@ -19,13 +21,16 @@
 // are allowed, cross-unit arithmetic exists only where dimensionally
 // meaningful (e.g. Picojoules / Cycles * Megahertz -> Microwatts), and
 // `.value()` is the escape hatch back to the raw representation for I/O and
-// for the suffix-convention internals. tools/check_units.py enforces that
-// src/power and src/core headers do not reintroduce naked-double power or
-// frequency parameters.
+// for suffix-convention intermediates. tools/check_units.py enforces that
+// the typed layers (src/power, src/core, src/fpga, src/pipeline,
+// src/multipipe, src/tcam) do not reintroduce naked-double power or
+// frequency parameters, members or return types, and that `.cpp` locals
+// keep their unit suffixes.
 #pragma once
 
 #include <compare>
 #include <cstdint>
+#include <type_traits>
 
 namespace vr::units {
 
@@ -153,23 +158,29 @@ class Quantity {
 struct WattsTag {};
 struct MilliwattsTag {};
 struct MicrowattsTag {};
+struct JoulesTag {};
 struct PicojoulesTag {};
 struct PjPerCycleTag {};
 struct MegahertzTag {};
 struct GbpsTag {};
 struct MwPerGbpsTag {};
 struct CyclesTag {};
+struct SecondsTag {};
+struct NanosecondsTag {};
 struct BitsTag {};
 
 using Watts = Quantity<WattsTag>;
 using Milliwatts = Quantity<MilliwattsTag>;
 using Microwatts = Quantity<MicrowattsTag>;
+using Joules = Quantity<JoulesTag>;
 using Picojoules = Quantity<PicojoulesTag>;
 using PjPerCycle = Quantity<PjPerCycleTag>;
 using Megahertz = Quantity<MegahertzTag>;
 using Gbps = Quantity<GbpsTag>;
 using MwPerGbps = Quantity<MwPerGbpsTag>;
 using Cycles = Quantity<CyclesTag>;
+using Seconds = Quantity<SecondsTag>;
+using Nanoseconds = Quantity<NanosecondsTag>;
 /// Memory sizes are exact bit counts, so Bits carries an integer rep.
 using Bits = Quantity<BitsTag, std::uint64_t>;
 
@@ -217,6 +228,52 @@ using Bits = Quantity<BitsTag, std::uint64_t>;
   return MwPerGbps{mw.value() / throughput.value()};
 }
 
+/// Total energy of a per-cycle budget sustained for a cycle count.
+[[nodiscard]] constexpr Picojoules operator*(PjPerCycle per_cycle,
+                                             Cycles cycles) noexcept {
+  return Picojoules{per_cycle.value() * cycles.value()};
+}
+[[nodiscard]] constexpr Picojoules operator*(Cycles cycles,
+                                             PjPerCycle per_cycle) noexcept {
+  return Picojoules{cycles.value() * per_cycle.value()};
+}
+
+/// Energy is power sustained over time: W × s → J.
+[[nodiscard]] constexpr Joules operator*(Watts power, Seconds time) noexcept {
+  return Joules{power.value() * time.value()};
+}
+[[nodiscard]] constexpr Joules operator*(Seconds time, Watts power) noexcept {
+  return Joules{time.value() * power.value()};
+}
+/// ... and dividing it back out recovers the average power.
+[[nodiscard]] constexpr Watts operator/(Joules energy, Seconds time) noexcept {
+  return Watts{energy.value() / time.value()};
+}
+
+/// Clock period of a frequency: 1/f(MHz) µs = 1000/f ns. A non-positive
+/// frequency (a clock-gated point) has no finite period; report zero so the
+/// degenerate case stays inert in downstream arithmetic.
+[[nodiscard]] constexpr Nanoseconds period(Megahertz freq) noexcept {
+  return freq.value() <= 0.0 ? Nanoseconds{0.0}
+                             : Nanoseconds{1e3 / freq.value()};
+}
+
+/// Wall-clock duration of a cycle count at a clock: cycles / (f·1e6) s.
+/// Clock-gated (non-positive) frequencies yield zero elapsed time.
+[[nodiscard]] constexpr Seconds elapsed(Cycles cycles,
+                                        Megahertz freq) noexcept {
+  return freq.value() <= 0.0
+             ? Seconds{0.0}
+             : Seconds{cycles.value() / (freq.value() * 1e6)};
+}
+
+[[nodiscard]] constexpr Joules to_joules(Picojoules pj) noexcept {
+  return Joules{pj.value() * 1e-12};
+}
+[[nodiscard]] constexpr Picojoules to_picojoules(Joules j) noexcept {
+  return Picojoules{j.value() * 1e12};
+}
+
 // ------------------------------------------------------- typed helpers --
 
 /// Typed form of `pj_over_cycles_to_w`: Picojoules / Cycles / Megahertz ->
@@ -232,5 +289,31 @@ using Bits = Quantity<BitsTag, std::uint64_t>;
                                                double packet_bytes) noexcept {
   return Gbps{lookup_throughput_gbps(freq.value(), packet_bytes)};
 }
+
+// Compile-time proofs of the dimensional algebra: the result types and a
+// few exact identities the power model depends on.
+static_assert(std::is_same_v<decltype(PjPerCycle{2.0} * Megahertz{3.0}),
+                             Microwatts>);
+static_assert((PjPerCycle{2.0} * Megahertz{3.0}).value() == 6.0);
+static_assert(std::is_same_v<decltype(PjPerCycle{2.0} * Cycles{4.0}),
+                             Picojoules>);
+static_assert((Cycles{4.0} * PjPerCycle{2.0}).value() == 8.0);
+static_assert(std::is_same_v<decltype(Watts{5.0} * Seconds{2.0}), Joules>);
+static_assert((Watts{5.0} * Seconds{2.0}).value() == 10.0);
+static_assert(std::is_same_v<decltype(Joules{10.0} / Seconds{2.0}), Watts>);
+static_assert((Joules{10.0} / Seconds{2.0}).value() == 5.0);
+static_assert(std::is_same_v<decltype(period(Megahertz{250.0})),
+                             Nanoseconds>);
+static_assert(period(Megahertz{250.0}).value() == 4.0);
+static_assert(period(Megahertz{0.0}).value() == 0.0);
+static_assert(elapsed(Cycles{4e6}, Megahertz{400.0}).value() == 0.01);
+static_assert(elapsed(Cycles{1e6}, Megahertz{0.0}).value() == 0.0);
+static_assert(to_joules(Picojoules{1e12}).value() == 1.0);
+static_assert(to_picojoules(Joules{1.0}).value() == 1e12);
+// Conversion round-trips stay exact for powers of ten and of two.
+static_assert(to_watts(to_milliwatts(Watts{4.5})).value() == 4.5);
+static_assert(to_watts(Microwatts{1.0}).value() == 1e-6);
+static_assert(bits_to_kbits(Bits{18 * 1024}) == 18.0);
+static_assert(bits_to_kbits(Bits{512}) == 0.5);
 
 }  // namespace vr::units

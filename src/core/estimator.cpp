@@ -47,8 +47,8 @@ units::Megahertz PowerEstimator::operating_frequency_mhz(
   resources.bram_halves = plan.total.halves();
   resources.pipelines = engines_on_device;
 
-  const units::Megahertz fmax{fpga::achievable_fmax_mhz(
-      device_, scenario.grade, resources, freq_params_)};
+  const units::Megahertz fmax = fpga::achievable_fmax_mhz(
+      device_, scenario.grade, resources, freq_params_);
   return scenario.freq_mhz > units::Megahertz{0.0}
              ? std::min(scenario.freq_mhz, fmax)
              : fmax;

@@ -24,7 +24,7 @@ fpga::PnrDesign ExperimentRunner::device_design(
   fpga::PnrDesign design;
   design.grade = scenario.grade;
   design.bram_policy = scenario.bram_policy;
-  design.requested_freq_mhz = scenario.freq_mhz.value();
+  design.requested_freq_mhz = scenario.freq_mhz;
   design.freq_params = freq_params_;
 
   std::vector<double> mu = scenario.utilization;
@@ -79,12 +79,12 @@ ExperimentResult ExperimentRunner::run(const Scenario& scenario,
   for (std::size_t d = 0; d < devices; ++d) {
     const fpga::PnrDesign design = device_design(scenario, workload, d);
     const fpga::PnrReport report = sim_.analyze(design);
-    out.power.static_w += units::Watts{report.static_w};
-    out.power.logic_w += units::Watts{report.logic_w};
-    out.power.memory_w += units::Watts{report.bram_w};
+    out.power.static_w += report.static_w;
+    out.power.logic_w += report.logic_w;
+    out.power.memory_w += report.bram_w;
     if (d == 0) {
       out.device_report = report;
-      out.freq_mhz = units::Megahertz{report.clock_mhz};
+      out.freq_mhz = report.clock_mhz;
     }
   }
   out.power.devices = devices;

@@ -14,8 +14,6 @@ constexpr double kFreqStartMhz = 100.0;
 constexpr double kFreqStopMhz = 500.0;
 constexpr double kFreqStepMhz = 50.0;
 
-double bits_to_kbits(double bits) { return bits / 1024.0; }
-
 }  // namespace
 
 FigureBuilder::FigureBuilder(fpga::DeviceSpec device, FigureOptions options,
@@ -56,16 +54,17 @@ SeriesTable FigureBuilder::fig2_bram_power() const {
       "freq_mhz",
       {"18Kb(-2)", "36Kb(-2)", "18Kb(-1L)", "36Kb(-1L)"});
   for (double f = kFreqStartMhz; f <= kFreqStopMhz; f += kFreqStepMhz) {
+    const units::Megahertz freq{f};
+    const auto block_mw = [freq](fpga::BramKind kind, fpga::SpeedGrade g) {
+      return units::to_milliwatts(
+                 fpga::XpeTables::bram_power_w(kind, g, 1, freq))
+          .value();
+    };
     table.add_point(
-        f,
-        {units::w_to_mw(fpga::XpeTables::bram_power_w(
-             fpga::BramKind::k18, fpga::SpeedGrade::kMinus2, 1, f)),
-         units::w_to_mw(fpga::XpeTables::bram_power_w(
-             fpga::BramKind::k36, fpga::SpeedGrade::kMinus2, 1, f)),
-         units::w_to_mw(fpga::XpeTables::bram_power_w(
-             fpga::BramKind::k18, fpga::SpeedGrade::kMinus1L, 1, f)),
-         units::w_to_mw(fpga::XpeTables::bram_power_w(
-             fpga::BramKind::k36, fpga::SpeedGrade::kMinus1L, 1, f))});
+        f, {block_mw(fpga::BramKind::k18, fpga::SpeedGrade::kMinus2),
+            block_mw(fpga::BramKind::k36, fpga::SpeedGrade::kMinus2),
+            block_mw(fpga::BramKind::k18, fpga::SpeedGrade::kMinus1L),
+            block_mw(fpga::BramKind::k36, fpga::SpeedGrade::kMinus1L)});
   }
   return table;
 }
@@ -75,11 +74,14 @@ SeriesTable FigureBuilder::fig3_logic_power() const {
       "Fig. 3 - per-stage logic+signal power vs frequency (mW)", "freq_mhz",
       {"stage(-2)", "stage(-1L)"});
   for (double f = kFreqStartMhz; f <= kFreqStopMhz; f += kFreqStepMhz) {
+    const units::Megahertz freq{f};
     table.add_point(
-        f, {units::w_to_mw(fpga::XpeTables::logic_power_w(
-                fpga::SpeedGrade::kMinus2, 1, f)),
-            units::w_to_mw(fpga::XpeTables::logic_power_w(
-                fpga::SpeedGrade::kMinus1L, 1, f))});
+        f, {units::to_milliwatts(fpga::XpeTables::logic_power_w(
+                                     fpga::SpeedGrade::kMinus2, 1, freq))
+                .value(),
+            units::to_milliwatts(fpga::XpeTables::logic_power_w(
+                                     fpga::SpeedGrade::kMinus1L, 1, freq))
+                .value()});
   }
   return table;
 }
@@ -116,10 +118,8 @@ FigureBuilder::Fig4 FigureBuilder::fig4_memory() const {
                                             cases[c].alpha,
                                             fpga::SpeedGrade::kMinus2);
           const Estimate est = estimator.estimate(s, *workload_for(s));
-          row.ptr[c] = bits_to_kbits(
-              static_cast<double>(est.resources.pointer_bits.value()));
-          row.nhi[c] = bits_to_kbits(
-              static_cast<double>(est.resources.nhi_bits.value()));
+          row.ptr[c] = units::bits_to_kbits(est.resources.pointer_bits);
+          row.nhi[c] = units::bits_to_kbits(est.resources.nhi_bits);
         }
         return row;
       });

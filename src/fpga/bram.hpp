@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/units.hpp"
 #include "fpga/device.hpp"
 #include "fpga/xpe_tables.hpp"
 
@@ -40,9 +41,10 @@ struct BramAllocation {
     return static_cast<double>(blocks36) +
            static_cast<double>(blocks18) / 2.0;
   }
-  /// Dynamic power of this allocation at `freq_mhz`, watts (Table III).
-  [[nodiscard]] double power_w(SpeedGrade grade, double freq_mhz) const
-      noexcept {
+  /// Dynamic power of this allocation at `freq_mhz` (Table III).
+  [[nodiscard]] units::Watts power_w(SpeedGrade grade,
+                                     units::Megahertz freq_mhz)
+      const noexcept {
     return XpeTables::bram_power_w(BramKind::k18, grade, blocks18, freq_mhz) +
            XpeTables::bram_power_w(BramKind::k36, grade, blocks36, freq_mhz);
   }

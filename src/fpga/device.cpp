@@ -14,7 +14,7 @@ const char* to_string(SpeedGrade grade) noexcept {
   return "?";
 }
 
-double DeviceSpec::static_power_w(SpeedGrade grade) const noexcept {
+units::Watts DeviceSpec::static_power_w(SpeedGrade grade) const noexcept {
   // Paper Sec. V-A: 4.5 W (-2) and 3.1 W (-1L) on the XC6VLX760. Scale by
   // device area (logic cells) so smaller catalog entries behave sensibly.
   const double reference_cells = 758'784.0;  // the XC6VLX760 itself
@@ -23,23 +23,23 @@ double DeviceSpec::static_power_w(SpeedGrade grade) const noexcept {
                        : static_cast<double>(logic_cells) / reference_cells;
   switch (grade) {
     case SpeedGrade::kMinus2:
-      return 4.5 * scale;
+      return units::Watts{4.5 * scale};
     case SpeedGrade::kMinus1L:
-      return 3.1 * scale;
+      return units::Watts{3.1 * scale};
   }
-  return 0.0;
+  return units::Watts{0.0};
 }
 
-double DeviceSpec::base_fmax_mhz(SpeedGrade grade) const noexcept {
+units::Megahertz DeviceSpec::base_fmax_mhz(SpeedGrade grade) const noexcept {
   // DESIGN.md Sec. 4 calibration: -2 routes a light pipelined lookup design
   // at ~400 MHz; -1L at ~30 % lower clock (same mW/Gbps per Fig. 8).
   switch (grade) {
     case SpeedGrade::kMinus2:
-      return 400.0;
+      return units::Megahertz{400.0};
     case SpeedGrade::kMinus1L:
-      return 280.0;
+      return units::Megahertz{280.0};
   }
-  return 0.0;
+  return units::Megahertz{0.0};
 }
 
 DeviceSpec DeviceSpec::xc6vlx760() {

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace vr::fpga {
 
 /// Device speed grade — the paper's two scenarios (Sec. V).
@@ -29,13 +31,14 @@ struct DeviceSpec {
   std::uint64_t distributed_ram_bits = 0;
   std::uint32_t io_pins = 0;
 
-  /// Base static ("leakage") power in watts for a grade; the paper reports
+  /// Base static ("leakage") power for a grade; the paper reports
   /// 4.5 W (-2) and 3.1 W (-1L), each ±5 % with resource usage (Sec. V-A).
-  [[nodiscard]] double static_power_w(SpeedGrade grade) const noexcept;
+  [[nodiscard]] units::Watts static_power_w(SpeedGrade grade) const noexcept;
 
-  /// Base achievable clock for a small design (one pipeline, light BRAM),
-  /// in MHz. -1L trades ~30 % throughput for ~30 % power (Sec. VI-B).
-  [[nodiscard]] double base_fmax_mhz(SpeedGrade grade) const noexcept;
+  /// Base achievable clock for a small design (one pipeline, light BRAM).
+  /// -1L trades ~30 % throughput for ~30 % power (Sec. VI-B).
+  [[nodiscard]] units::Megahertz base_fmax_mhz(SpeedGrade grade)
+      const noexcept;
 
   /// The paper's platform: Virtex-6 XC6VLX760.
   static DeviceSpec xc6vlx760();

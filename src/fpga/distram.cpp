@@ -5,13 +5,13 @@
 
 namespace vr::fpga {
 
-double distram_power_w(std::uint64_t bits, double freq_mhz,
-                       const DistRamParams& params) {
-  if (bits == 0) return 0.0;
+units::Watts distram_power_w(std::uint64_t bits, units::Megahertz freq_mhz,
+                             const DistRamParams& params) {
+  if (bits == 0) return units::Watts{0.0};
   const double kbits = static_cast<double>(bits) / 1024.0;
-  return units::uw_to_w(
+  return units::Watts{units::uw_to_w(
       (params.base_uw_per_mhz + params.per_kbit_uw_per_mhz * kbits) *
-      freq_mhz);
+      freq_mhz.value())};
 }
 
 std::uint64_t distram_luts(std::uint64_t bits, const DistRamParams& params) {
@@ -19,14 +19,14 @@ std::uint64_t distram_luts(std::uint64_t bits, const DistRamParams& params) {
 }
 
 StageMemoryChoice choose_stage_memory(std::uint64_t bits, SpeedGrade grade,
-                                      double freq_mhz,
+                                      units::Megahertz freq_mhz,
                                       BramPolicy bram_policy,
                                       const DistRamParams& params) {
   StageMemoryChoice choice;
   if (bits == 0) return choice;
   const BramAllocation bram = allocate_bram(bits, bram_policy);
-  const double bram_w = bram.power_w(grade, freq_mhz);
-  const double dist_w = distram_power_w(bits, freq_mhz, params);
+  const units::Watts bram_w = bram.power_w(grade, freq_mhz);
+  const units::Watts dist_w = distram_power_w(bits, freq_mhz, params);
   if (dist_w < bram_w) {
     choice.tech = MemoryTech::kDistRam;
     choice.power_w = dist_w;
@@ -47,8 +47,8 @@ std::uint64_t distram_crossover_bits(SpeedGrade grade,
   std::uint64_t last_dist_win = 0;
   for (std::uint64_t bits = params.bits_per_lut; bits <= 64 * 1024;
        bits += params.bits_per_lut) {
-    const StageMemoryChoice choice =
-        choose_stage_memory(bits, grade, 1.0, bram_policy, params);
+    const StageMemoryChoice choice = choose_stage_memory(
+        bits, grade, units::Megahertz{1.0}, bram_policy, params);
     if (choice.tech == MemoryTech::kDistRam) last_dist_win = bits;
   }
   return last_dist_win;

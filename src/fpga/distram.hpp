@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "common/units.hpp"
 #include "fpga/bram.hpp"
 #include "fpga/device.hpp"
 
@@ -19,14 +20,18 @@ namespace vr::fpga {
 /// With the defaults, distRAM beats one 18 Kb BRAM block below ~11 Kbit
 /// and loses beyond it — the crossover that makes hybrid mapping useful.
 struct DistRamParams {
-  double base_uw_per_mhz = 0.4;      ///< addressing/control overhead
-  double per_kbit_uw_per_mhz = 1.2;  ///< per-Kbit read power
+  /// Addressing/control overhead, µW per MHz.
+  double base_uw_per_mhz = 0.4;  // units-ok: µW/MHz calibration scalar
+  /// Per-Kbit read power, µW per MHz per Kbit (a compound coefficient the
+  /// quantity system does not model; the formula above fixes its meaning).
+  double per_kbit_uw_per_mhz = 1.2;  // units-ok: µW/MHz/Kbit calibration
   unsigned bits_per_lut = 64;        ///< Virtex-6 LUT-RAM capacity
 };
 
-/// Dynamic power of an `bits`-bit distributed RAM at `freq_mhz`, watts.
-[[nodiscard]] double distram_power_w(std::uint64_t bits, double freq_mhz,
-                                     const DistRamParams& params = {});
+/// Dynamic power of an `bits`-bit distributed RAM at `freq_mhz`.
+[[nodiscard]] units::Watts distram_power_w(std::uint64_t bits,
+                                           units::Megahertz freq_mhz,
+                                           const DistRamParams& params = {});
 
 /// LUTs consumed by an `bits`-bit distributed RAM.
 [[nodiscard]] std::uint64_t distram_luts(std::uint64_t bits,
@@ -41,14 +46,14 @@ enum class MemoryTech {
 /// One stage's memory decision under the hybrid policy.
 struct StageMemoryChoice {
   MemoryTech tech = MemoryTech::kBram;
-  double power_w = 0.0;
+  units::Watts power_w;
   std::uint64_t luts = 0;
   std::uint64_t bram_halves = 0;
 };
 
 /// Picks the cheaper technology for one stage at the operating point.
 [[nodiscard]] StageMemoryChoice choose_stage_memory(
-    std::uint64_t bits, SpeedGrade grade, double freq_mhz,
+    std::uint64_t bits, SpeedGrade grade, units::Megahertz freq_mhz,
     BramPolicy bram_policy = BramPolicy::kMixed,
     const DistRamParams& params = {});
 

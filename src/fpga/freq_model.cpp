@@ -6,11 +6,11 @@
 
 namespace vr::fpga {
 
-double achievable_fmax_mhz(const DeviceSpec& spec, SpeedGrade grade,
-                           const DesignResources& resources,
-                           const FreqModelParams& params) {
+units::Megahertz achievable_fmax_mhz(const DeviceSpec& spec, SpeedGrade grade,
+                                     const DesignResources& resources,
+                                     const FreqModelParams& params) {
   VR_REQUIRE(resources.pipelines >= 1, "a design has at least one pipeline");
-  const double base = spec.base_fmax_mhz(grade);
+  const units::Megahertz base = spec.base_fmax_mhz(grade);
   const double halves_total =
       static_cast<double>(device_bram_halves(spec));
   const double util =

@@ -11,6 +11,7 @@
 // the implementation's operating frequency — its coefficients are ·f).
 #pragma once
 
+#include "common/units.hpp"
 #include "fpga/bram.hpp"
 #include "fpga/device.hpp"
 
@@ -39,10 +40,9 @@ struct DesignResources {
   std::size_t pipelines = 1;
 };
 
-/// Post-PnR achievable clock in MHz for a design on a device/grade.
-[[nodiscard]] double achievable_fmax_mhz(const DeviceSpec& spec,
-                                         SpeedGrade grade,
-                                         const DesignResources& resources,
-                                         const FreqModelParams& params = {});
+/// Post-PnR achievable clock for a design on a device/grade.
+[[nodiscard]] units::Megahertz achievable_fmax_mhz(
+    const DeviceSpec& spec, SpeedGrade grade,
+    const DesignResources& resources, const FreqModelParams& params = {});
 
 }  // namespace vr::fpga

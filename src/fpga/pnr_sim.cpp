@@ -90,17 +90,17 @@ PnrReport PnrSimulator::analyze(const PnrDesign& design) const {
       0.5 * (report.bram_utilization + report.logic_utilization);
 
   // ---- Timing closure -----------------------------------------------------
-  const double fmax = achievable_fmax_mhz(spec_, design.grade,
-                                          report.resources,
-                                          design.freq_params);
-  report.clock_mhz = design.requested_freq_mhz > 0.0
+  const units::Megahertz fmax = achievable_fmax_mhz(spec_, design.grade,
+                                                    report.resources,
+                                                    design.freq_params);
+  report.clock_mhz = design.requested_freq_mhz > units::Megahertz{0.0}
                          ? std::min(design.requested_freq_mhz, fmax)
                          : fmax;
 
   // ---- Power --------------------------------------------------------------
   // Dynamic power from the coefficient tables, clock-gated by activity.
-  double logic_w = 0.0;
-  double bram_w = 0.0;
+  units::Watts logic_w;
+  units::Watts bram_w;
   for (std::size_t i = 0; i < pipeline_count; ++i) {
     const PipelinePlacement& p = design.pipelines[i];
     logic_w += XpeTables::logic_power_w(design.grade, p.stage_bits.size(),
@@ -135,7 +135,7 @@ PnrReport PnrSimulator::analyze(const PnrDesign& design) const {
 
   // Leakage: area-dependent band, the replicated-design optimization, and
   // the routing-spread penalty of BRAM-heavy stages (merged designs).
-  double static_w = spec_.static_power_w(design.grade);
+  units::Watts static_w = spec_.static_power_w(design.grade);
   static_w *= 1.0 + effects_.static_area_slope *
                         (report.area_utilization - 0.5);
   static_w *= 1.0 - effects_.static_opt_max * (1.0 - 1.0 / p_count);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 #include "fpga/bram.hpp"
 #include "fpga/device.hpp"
 #include "fpga/freq_model.hpp"
@@ -46,7 +47,7 @@ struct PnrDesign {
   BramPolicy bram_policy = BramPolicy::kMixed;
   std::vector<PipelinePlacement> pipelines;
   /// Clock to run at; 0 = run at the achievable Fmax.
-  double requested_freq_mhz = 0.0;
+  units::Megahertz requested_freq_mhz{0.0};
   FreqModelParams freq_params{};
 };
 
@@ -80,11 +81,11 @@ struct PnrEffects {
 
 /// Power and resource report of a placed design.
 struct PnrReport {
-  double clock_mhz = 0.0;
-  double static_w = 0.0;
-  double logic_w = 0.0;
-  double bram_w = 0.0;
-  [[nodiscard]] double total_w() const noexcept {
+  units::Megahertz clock_mhz;
+  units::Watts static_w;
+  units::Watts logic_w;
+  units::Watts bram_w;
+  [[nodiscard]] units::Watts total_w() const noexcept {
     return static_w + logic_w + bram_w;
   }
 

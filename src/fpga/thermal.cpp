@@ -10,9 +10,11 @@ double leakage_multiplier(double t_junction_c, const ThermalParams& params) {
   return 1.0 + params.leakage_slope_per_c * (t_junction_c - 25.0);
 }
 
-ThermalOperatingPoint solve_thermal(double static_25c_w, double dynamic_w,
+ThermalOperatingPoint solve_thermal(units::Watts static_25c_w,
+                                    units::Watts dynamic_w,
                                     const ThermalParams& params) {
-  VR_REQUIRE(static_25c_w >= 0.0 && dynamic_w >= 0.0,
+  VR_REQUIRE(static_25c_w >= units::Watts{0.0} &&
+                 dynamic_w >= units::Watts{0.0},
              "power inputs must be non-negative");
   ThermalOperatingPoint point;
   point.t_junction_c = params.ambient_c;
@@ -21,10 +23,11 @@ ThermalOperatingPoint solve_thermal(double static_25c_w, double dynamic_w,
   // iteration converges geometrically.
   for (unsigned i = 0; i < 100; ++i) {
     ++point.iterations;
-    const double static_w =
+    const units::Watts static_w =
         static_25c_w * leakage_multiplier(point.t_junction_c, params);
     const double next_t =
-        params.ambient_c + params.theta_ja_c_per_w * (static_w + dynamic_w);
+        params.ambient_c +
+        params.theta_ja_c_per_w * (static_w + dynamic_w).value();
     if (std::fabs(next_t - point.t_junction_c) < 1e-9) {
       point.t_junction_c = next_t;
       break;

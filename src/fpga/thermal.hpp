@@ -8,12 +8,14 @@
 // (K dedicated devices in one rack vs one shared device).
 #pragma once
 
+#include "common/units.hpp"
+
 namespace vr::fpga {
 
 struct ThermalParams {
   double ambient_c = 25.0;
   /// Junction-to-ambient thermal resistance with a passive heatsink, °C/W.
-  double theta_ja_c_per_w = 2.5;
+  double theta_ja_c_per_w = 2.5;  // units-ok: compound °C/W calibration
   /// Fractional leakage increase per °C above the 25 °C characterization
   /// point (Virtex-6-class silicon roughly doubles leakage over ~60 °C).
   double leakage_slope_per_c = 0.012;
@@ -28,8 +30,8 @@ struct ThermalParams {
 /// Result of the power–temperature fixed point for one device.
 struct ThermalOperatingPoint {
   double t_junction_c = 25.0;
-  double static_w = 0.0;   ///< leakage at the settled temperature
-  double total_w = 0.0;    ///< static + dynamic at the settled point
+  units::Watts static_w;      ///< leakage at the settled temperature
+  units::Watts total_w;       ///< static + dynamic at the settled point
   bool within_limits = true;  ///< t_junction <= t_junction_max
   unsigned iterations = 0;
 };
@@ -38,6 +40,7 @@ struct ThermalOperatingPoint {
 /// iteration. `static_25c_w` is the device's leakage at 25 °C (the
 /// catalog/paper value); `dynamic_w` is temperature-independent.
 [[nodiscard]] ThermalOperatingPoint solve_thermal(
-    double static_25c_w, double dynamic_w, const ThermalParams& params = {});
+    units::Watts static_25c_w, units::Watts dynamic_w,
+    const ThermalParams& params = {});
 
 }  // namespace vr::fpga

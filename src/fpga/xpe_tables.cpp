@@ -24,37 +24,39 @@ std::uint64_t bram_capacity_bits(BramKind kind) noexcept {
   return 0;
 }
 
-double XpeTables::bram_uw_per_mhz(BramKind kind, SpeedGrade grade) noexcept {
+units::PjPerCycle XpeTables::bram_uw_per_mhz(BramKind kind,
+                                             SpeedGrade grade) noexcept {
   switch (grade) {
     case SpeedGrade::kMinus2:
-      return kind == BramKind::k18 ? 13.65 : 24.60;
+      return units::PjPerCycle{kind == BramKind::k18 ? 13.65 : 24.60};
     case SpeedGrade::kMinus1L:
-      return kind == BramKind::k18 ? 11.00 : 19.70;
+      return units::PjPerCycle{kind == BramKind::k18 ? 11.00 : 19.70};
   }
-  return 0.0;
+  return units::PjPerCycle{0.0};
 }
 
-double XpeTables::bram_power_w(BramKind kind, SpeedGrade grade,
-                               std::uint64_t blocks,
-                               double freq_mhz) noexcept {
-  return units::uw_to_w(static_cast<double>(blocks) *
-                        bram_uw_per_mhz(kind, grade) * freq_mhz);
+units::Watts XpeTables::bram_power_w(BramKind kind, SpeedGrade grade,
+                                     std::uint64_t blocks,
+                                     units::Megahertz freq_mhz) noexcept {
+  return units::to_watts(static_cast<double>(blocks) *
+                         bram_uw_per_mhz(kind, grade) * freq_mhz);
 }
 
-double XpeTables::logic_stage_uw_per_mhz(SpeedGrade grade) noexcept {
+units::PjPerCycle XpeTables::logic_stage_uw_per_mhz(
+    SpeedGrade grade) noexcept {
   switch (grade) {
     case SpeedGrade::kMinus2:
-      return 5.180;
+      return units::PjPerCycle{5.180};
     case SpeedGrade::kMinus1L:
-      return 3.937;
+      return units::PjPerCycle{3.937};
   }
-  return 0.0;
+  return units::PjPerCycle{0.0};
 }
 
-double XpeTables::logic_power_w(SpeedGrade grade, std::size_t stages,
-                                double freq_mhz) noexcept {
-  return units::uw_to_w(static_cast<double>(stages) *
-                        logic_stage_uw_per_mhz(grade) * freq_mhz);
+units::Watts XpeTables::logic_power_w(SpeedGrade grade, std::size_t stages,
+                                      units::Megahertz freq_mhz) noexcept {
+  return units::to_watts(static_cast<double>(stages) *
+                         logic_stage_uw_per_mhz(grade) * freq_mhz);
 }
 
 }  // namespace vr::fpga

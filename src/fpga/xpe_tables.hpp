@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/units.hpp"
 #include "fpga/device.hpp"
 
 namespace vr::fpga {
@@ -26,26 +27,29 @@ enum class BramKind : std::uint8_t {
 
 /// Coefficient tables published in the paper.
 struct XpeTables {
-  /// Table III: BRAM power per block, µW per MHz of clock.
+  /// Table III: BRAM power per block, µW per MHz of clock — numerically a
+  /// per-cycle energy (the µW/MHz ≡ pJ/cycle identity of common/units.hpp),
+  /// which is the type the coefficient carries.
   ///   18Kb (-2): 13.65    36Kb (-2): 24.60
   ///   18Kb (-1L): 11.00   36Kb (-1L): 19.70
-  [[nodiscard]] static double bram_uw_per_mhz(BramKind kind,
-                                              SpeedGrade grade) noexcept;
+  [[nodiscard]] static units::PjPerCycle bram_uw_per_mhz(
+      BramKind kind, SpeedGrade grade) noexcept;
 
-  /// Power of `blocks` BRAM blocks of `kind` at `freq_mhz`, in watts
-  /// (Table III with the ceiling already applied by the caller).
-  [[nodiscard]] static double bram_power_w(BramKind kind, SpeedGrade grade,
-                                           std::uint64_t blocks,
-                                           double freq_mhz) noexcept;
+  /// Power of `blocks` BRAM blocks of `kind` at `freq_mhz` (Table III with
+  /// the ceiling already applied by the caller).
+  [[nodiscard]] static units::Watts bram_power_w(
+      BramKind kind, SpeedGrade grade, std::uint64_t blocks,
+      units::Megahertz freq_mhz) noexcept;
 
   /// Sec. V-C: per-pipeline-stage logic + signal power, µW per MHz:
   ///   -2: 5.180    -1L: 3.937
-  [[nodiscard]] static double logic_stage_uw_per_mhz(SpeedGrade grade) noexcept;
+  [[nodiscard]] static units::PjPerCycle logic_stage_uw_per_mhz(
+      SpeedGrade grade) noexcept;
 
-  /// Power of `stages` pipeline stages of PE logic at `freq_mhz`, in watts.
-  [[nodiscard]] static double logic_power_w(SpeedGrade grade,
-                                            std::size_t stages,
-                                            double freq_mhz) noexcept;
+  /// Power of `stages` pipeline stages of PE logic at `freq_mhz`.
+  [[nodiscard]] static units::Watts logic_power_w(
+      SpeedGrade grade, std::size_t stages,
+      units::Megahertz freq_mhz) noexcept;
 
   /// Assumed BRAM write rate (1 %) and read width (18 bits) — recorded for
   /// documentation; their effect is already folded into the coefficients

@@ -56,13 +56,12 @@ MultipipeReport evaluate_multipipe(const PartitionedTrie& partition,
   // Logic: each lookup clocks the index stage plus one pipeline's stages;
   // with balanced traffic every pipeline sees load/P of the aggregate P
   // lookups per cycle => activity `load` per pipeline.
-  const double stage_logic_w =
+  const units::Watts stage_logic_w =
       fpga::XpeTables::logic_power_w(options.grade, 1, report.freq_mhz);
-  report.logic_w =
-      options.load *
-      (1.0 + static_cast<double>(pipelines) *
-                 static_cast<double>(report.pipeline_depth)) *
-      stage_logic_w;
+  report.logic_w = options.load *
+                   (1.0 + static_cast<double>(pipelines) *
+                              static_cast<double>(report.pipeline_depth)) *
+                   stage_logic_w;
 
   // Memory: every pipeline's stage memories are clocked at its own load;
   // the index is read by every lookup on every pipeline slot.
@@ -76,8 +75,7 @@ MultipipeReport evaluate_multipipe(const PartitionedTrie& partition,
   report.static_w = device.static_power_w(options.grade);
   report.throughput_gbps =
       options.load * static_cast<double>(pipelines) *
-      units::lookup_throughput_gbps(report.freq_mhz,
-                                    units::kMinPacketBytes);
+      units::lookup_throughput(report.freq_mhz, units::kMinPacketBytes);
   return report;
 }
 

@@ -5,6 +5,7 @@
 // aggregate throughput.
 #pragma once
 
+#include "common/units.hpp"
 #include "fpga/bram.hpp"
 #include "fpga/device.hpp"
 #include "fpga/freq_model.hpp"
@@ -14,20 +15,21 @@
 namespace vr::multipipe {
 
 struct MultipipeReport {
-  double static_w = 0.0;
-  double logic_w = 0.0;
-  double memory_w = 0.0;
-  double freq_mhz = 0.0;
-  double throughput_gbps = 0.0;
+  units::Watts static_w;
+  units::Watts logic_w;
+  units::Watts memory_w;
+  units::Megahertz freq_mhz;
+  units::Gbps throughput_gbps;
   std::size_t pipeline_depth = 0;
   double balance_factor = 1.0;
 
-  [[nodiscard]] double total_w() const noexcept {
+  [[nodiscard]] units::Watts total_w() const noexcept {
     return static_w + logic_w + memory_w;
   }
-  [[nodiscard]] double mw_per_gbps() const noexcept {
-    return throughput_gbps <= 0.0 ? 0.0
-                                  : total_w() * 1e3 / throughput_gbps;
+  [[nodiscard]] units::MwPerGbps mw_per_gbps() const noexcept {
+    return throughput_gbps <= units::Gbps{0.0}
+               ? units::MwPerGbps{0.0}
+               : units::to_milliwatts(total_w()) / throughput_gbps;
   }
 };
 

@@ -6,7 +6,8 @@ namespace vr::pipeline {
 
 EnginePower measure_engine_power(const ActivityCounters& counters,
                                  const fpga::StageBramPlan& plan,
-                                 fpga::SpeedGrade grade, double freq_mhz) {
+                                 fpga::SpeedGrade grade,
+                                 units::Megahertz freq_mhz) {
   VR_REQUIRE(plan.per_stage.size() == counters.stage_busy.size(),
              "BRAM plan and activity counters disagree on stage count");
   EnginePower power;

@@ -7,6 +7,7 @@
 // form of the simulated clock gating.
 #pragma once
 
+#include "common/units.hpp"
 #include "fpga/bram.hpp"
 #include "fpga/xpe_tables.hpp"
 #include "pipeline/lookup_engine.hpp"
@@ -15,10 +16,10 @@ namespace vr::pipeline {
 
 /// Average dynamic power of one engine over a simulation.
 struct EnginePower {
-  double logic_w = 0.0;
-  double memory_w = 0.0;
+  units::Watts logic_w;
+  units::Watts memory_w;
 
-  [[nodiscard]] double dynamic_w() const noexcept {
+  [[nodiscard]] units::Watts dynamic_w() const noexcept {
     return logic_w + memory_w;
   }
 };
@@ -28,6 +29,6 @@ struct EnginePower {
 /// the engine's stage count.
 [[nodiscard]] EnginePower measure_engine_power(
     const ActivityCounters& counters, const fpga::StageBramPlan& plan,
-    fpga::SpeedGrade grade, double freq_mhz);
+    fpga::SpeedGrade grade, units::Megahertz freq_mhz);
 
 }  // namespace vr::pipeline

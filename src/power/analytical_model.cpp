@@ -28,13 +28,12 @@ units::Watts AnalyticalModel::stage_memory_power_w(
     units::Bits bits, const OperatingPoint& op) const {
   const fpga::BramAllocation alloc =
       fpga::allocate_bram(bits.value(), op.bram_policy);
-  return units::Watts{alloc.power_w(op.grade, op.freq_mhz.value())};
+  return alloc.power_w(op.grade, op.freq_mhz);
 }
 
 units::Watts AnalyticalModel::stage_logic_power_w(
     const OperatingPoint& op) const {
-  return units::Watts{
-      fpga::XpeTables::logic_power_w(op.grade, 1, op.freq_mhz.value())};
+  return fpga::XpeTables::logic_power_w(op.grade, 1, op.freq_mhz);
 }
 
 void AnalyticalModel::engine_dynamic_w(const EngineSpec& engine, double u,
@@ -60,8 +59,8 @@ PowerBreakdown AnalyticalModel::estimate_nv(
   out.devices = engines.size();
   out.freq_mhz = op.freq_mhz;
   // Eq. 2: each VN pays a full device's leakage.
-  out.static_w = units::Watts{static_cast<double>(engines.size()) *
-                              device_.static_power_w(op.grade)};
+  out.static_w = static_cast<double>(engines.size()) *
+                 device_.static_power_w(op.grade);
   for (std::size_t i = 0; i < engines.size(); ++i) {
     engine_dynamic_w(engines[i], mu[i], op, &out.logic_w, &out.memory_w);
   }
@@ -76,7 +75,7 @@ PowerBreakdown AnalyticalModel::estimate_vs(
   out.devices = 1;
   out.freq_mhz = op.freq_mhz;
   // Eq. 4: leakage paid once; dynamic identical to NV.
-  out.static_w = units::Watts{device_.static_power_w(op.grade)};
+  out.static_w = device_.static_power_w(op.grade);
   for (std::size_t i = 0; i < engines.size(); ++i) {
     engine_dynamic_w(engines[i], mu[i], op, &out.logic_w, &out.memory_w);
   }
@@ -96,7 +95,7 @@ PowerBreakdown AnalyticalModel::estimate_vm(const EngineSpec& merged_engine,
   // Eq. 6: leakage paid once; the single engine's dynamic power carries the
   // aggregate utilization (Σµ = 1 under Assumption 1 — the engine is busy
   // whenever any VN offers a packet).
-  out.static_w = units::Watts{device_.static_power_w(op.grade)};
+  out.static_w = device_.static_power_w(op.grade);
   engine_dynamic_w(merged_engine, aggregate, op, &out.logic_w,
                    &out.memory_w);
   return out;

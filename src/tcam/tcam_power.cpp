@@ -10,15 +10,16 @@ TcamPowerReport tcam_power(std::size_t entries_stored,
                            std::size_t entries_triggered,
                            const TcamPowerParams& params) {
   TcamPowerReport report;
-  const double searches_per_second = params.clock_mhz * 1e6;
+  const double searches_per_second = params.clock_mhz.value() * 1e6;
   const double energy_per_search_j =
       static_cast<double>(entries_triggered) * params.bits_per_entry *
       params.search_fj_per_bit * 1e-15;
-  report.dynamic_w = energy_per_search_j * searches_per_second;
-  report.static_w = static_cast<double>(entries_stored) *
-                    params.bits_per_entry * params.leakage_nw_per_bit * 1e-9;
-  report.throughput_gbps = units::lookup_throughput_gbps(
-      params.clock_mhz, units::kMinPacketBytes);
+  report.dynamic_w = units::Watts{energy_per_search_j * searches_per_second};
+  report.static_w =
+      units::Watts{static_cast<double>(entries_stored) *
+                   params.bits_per_entry * params.leakage_nw_per_bit * 1e-9};
+  report.throughput_gbps =
+      units::lookup_throughput(params.clock_mhz, units::kMinPacketBytes);
   return report;
 }
 

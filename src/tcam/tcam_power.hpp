@@ -12,20 +12,21 @@
 
 #include <cstddef>
 
+#include "common/units.hpp"
 #include "tcam/tcam.hpp"
 
 namespace vr::tcam {
 
 struct TcamPowerParams {
   /// Dynamic search energy per bit per activated entry, femtojoules.
-  double search_fj_per_bit = 5.4;
+  double search_fj_per_bit = 5.4;  // units-ok: fJ/bit calibration scalar
   /// Entry width in ternary bits (IPv4 value+mask word).
   unsigned bits_per_entry = 36;
   /// Leakage per stored ternary bit, nanowatts.
-  double leakage_nw_per_bit = 18.0;
+  double leakage_nw_per_bit = 18.0;  // units-ok: nW/bit calibration scalar
   /// Search rate: one search per clock. Commodity TCAMs close timing well
   /// below FPGA BRAM pipelines.
-  double clock_mhz = 150.0;
+  units::Megahertz clock_mhz{150.0};
   /// Physical array size of the chip (18 Mbit-class part). A commodity
   /// TCAM precharges and leaks across its WHOLE array regardless of how
   /// many entries are occupied, which is the core of the paper's
@@ -36,16 +37,17 @@ struct TcamPowerParams {
 
 /// Power report of a TCAM deployment.
 struct TcamPowerReport {
-  double dynamic_w = 0.0;
-  double static_w = 0.0;
-  double throughput_gbps = 0.0;  ///< 40 B packets, one search per cycle
+  units::Watts dynamic_w;
+  units::Watts static_w;
+  units::Gbps throughput_gbps;  ///< 40 B packets, one search per cycle
 
-  [[nodiscard]] double total_w() const noexcept {
+  [[nodiscard]] units::Watts total_w() const noexcept {
     return dynamic_w + static_w;
   }
-  [[nodiscard]] double mw_per_gbps() const noexcept {
-    return throughput_gbps <= 0.0 ? 0.0
-                                  : total_w() * 1e3 / throughput_gbps;
+  [[nodiscard]] units::MwPerGbps mw_per_gbps() const noexcept {
+    return throughput_gbps <= units::Gbps{0.0}
+               ? units::MwPerGbps{0.0}
+               : units::to_milliwatts(total_w()) / throughput_gbps;
   }
 };
 

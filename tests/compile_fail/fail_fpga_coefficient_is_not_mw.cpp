@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: the Table III coefficient times a clock is microwatts;
+// binding it to a Milliwatts quantity is the silent 1000x error the typed
+// coefficient identity exists to stop.
+#include "common/units.hpp"
+#include "fpga/xpe_tables.hpp"
+
+int main() {
+  const vr::units::Milliwatts mw =
+      vr::fpga::XpeTables::bram_uw_per_mhz(vr::fpga::BramKind::k18,
+                                           vr::fpga::SpeedGrade::kMinus2) *
+      vr::units::Megahertz{400.0};
+  return static_cast<int>(mw.value());
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: the XPE table lookups take units::Megahertz; a raw
+// double frequency (the pre-migration signature) must be rejected.
+#include "fpga/xpe_tables.hpp"
+
+int main() {
+  const auto p = vr::fpga::XpeTables::bram_power_w(
+      vr::fpga::BramKind::k36, vr::fpga::SpeedGrade::kMinus2, 1, 400.0);
+  return static_cast<int>(p.value());
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: only a frequency has a clock period; asking for the
+// period of a power is dimensional nonsense.
+#include "common/units.hpp"
+
+int main() {
+  const auto t = vr::units::period(vr::units::Watts{4.5});
+  return static_cast<int>(t.value());
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: the pipeline energy meter takes units::Megahertz; a
+// raw double clock must be rejected at the call site.
+#include "pipeline/energy.hpp"
+
+int main() {
+  vr::pipeline::ActivityCounters counters;
+  const vr::fpga::StageBramPlan plan;
+  const auto power = vr::pipeline::measure_engine_power(
+      counters, plan, vr::fpga::SpeedGrade::kMinus2, 300.0);
+  return static_cast<int>(power.dynamic_w().value());
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: the thermal fixed point takes typed Watts for both
+// the 25 degC leakage and the dynamic load; raw doubles must be rejected.
+#include "fpga/thermal.hpp"
+
+int main() {
+  const auto point = vr::fpga::solve_thermal(4.5, 0.25);
+  return point.within_limits ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/units.hpp"
 #include "fpga/distram.hpp"
 #include "power/utilization.hpp"
 
@@ -9,14 +10,18 @@ namespace {
 // ----------------------------------------------------------- dist RAM --
 
 TEST(DistRamTest, ZeroBitsZeroPower) {
-  EXPECT_DOUBLE_EQ(fpga::distram_power_w(0, 400.0), 0.0);
+  EXPECT_DOUBLE_EQ(fpga::distram_power_w(0, units::Megahertz{400.0}).value(),
+                   0.0);
   EXPECT_EQ(fpga::distram_luts(0), 0u);
 }
 
 TEST(DistRamTest, PowerLinearInFrequencyAndSize) {
-  const double p1 = fpga::distram_power_w(1024, 100.0);
-  EXPECT_NEAR(fpga::distram_power_w(1024, 400.0), 4.0 * p1, 1e-15);
-  const double big = fpga::distram_power_w(10 * 1024, 100.0);
+  const double p1 =
+      fpga::distram_power_w(1024, units::Megahertz{100.0}).value();
+  EXPECT_NEAR(fpga::distram_power_w(1024, units::Megahertz{400.0}).value(),
+              4.0 * p1, 1e-15);
+  const double big =
+      fpga::distram_power_w(10 * 1024, units::Megahertz{100.0}).value();
   EXPECT_GT(big, 5.0 * p1);  // grows with size (plus the base term)
 }
 
@@ -29,7 +34,7 @@ TEST(DistRamTest, LutsCeilAt64Bits) {
 
 TEST(DistRamTest, TinyMemoriesPreferDistRam) {
   const auto choice = fpga::choose_stage_memory(
-      256, fpga::SpeedGrade::kMinus2, 400.0);
+      256, fpga::SpeedGrade::kMinus2, units::Megahertz{400.0});
   EXPECT_EQ(choice.tech, fpga::MemoryTech::kDistRam);
   EXPECT_GT(choice.luts, 0u);
   EXPECT_EQ(choice.bram_halves, 0u);
@@ -37,7 +42,7 @@ TEST(DistRamTest, TinyMemoriesPreferDistRam) {
 
 TEST(DistRamTest, LargeMemoriesPreferBram) {
   const auto choice = fpga::choose_stage_memory(
-      100 * 1024, fpga::SpeedGrade::kMinus2, 400.0);
+      100 * 1024, fpga::SpeedGrade::kMinus2, units::Megahertz{400.0});
   EXPECT_EQ(choice.tech, fpga::MemoryTech::kBram);
   EXPECT_GT(choice.bram_halves, 0u);
   EXPECT_EQ(choice.luts, 0u);
@@ -51,11 +56,13 @@ TEST(DistRamTest, CrossoverConsistentWithChoices) {
   // Just below the crossover distRAM wins; just above (rounded to the
   // next BRAM decision point) BRAM wins.
   EXPECT_EQ(fpga::choose_stage_memory(crossover - 64,
-                                      fpga::SpeedGrade::kMinus2, 250.0)
+                                      fpga::SpeedGrade::kMinus2,
+                                      units::Megahertz{250.0})
                 .tech,
             fpga::MemoryTech::kDistRam);
   EXPECT_EQ(fpga::choose_stage_memory(crossover + 64,
-                                      fpga::SpeedGrade::kMinus2, 250.0)
+                                      fpga::SpeedGrade::kMinus2,
+                                      units::Megahertz{250.0})
                 .tech,
             fpga::MemoryTech::kBram);
 }
@@ -63,11 +70,14 @@ TEST(DistRamTest, CrossoverConsistentWithChoices) {
 TEST(DistRamTest, ChoicePowerIsTheMinimum) {
   for (const std::uint64_t bits : {100ull, 5000ull, 20000ull, 80000ull}) {
     const auto choice = fpga::choose_stage_memory(
-        bits, fpga::SpeedGrade::kMinus1L, 300.0);
-    const double bram = fpga::allocate_bram(bits, fpga::BramPolicy::kMixed)
-                            .power_w(fpga::SpeedGrade::kMinus1L, 300.0);
-    const double dist = fpga::distram_power_w(bits, 300.0);
-    EXPECT_NEAR(choice.power_w, std::min(bram, dist), 1e-15);
+        bits, fpga::SpeedGrade::kMinus1L, units::Megahertz{300.0});
+    const double bram =
+        fpga::allocate_bram(bits, fpga::BramPolicy::kMixed)
+            .power_w(fpga::SpeedGrade::kMinus1L, units::Megahertz{300.0})
+            .value();
+    const double dist =
+        fpga::distram_power_w(bits, units::Megahertz{300.0}).value();
+    EXPECT_NEAR(choice.power_w.value(), std::min(bram, dist), 1e-15);
   }
 }
 
@@ -128,7 +138,7 @@ TEST(DeviceCatalogTest, AllEntriesAreConsistent) {
     EXPECT_GT(spec.io_pins, 0u);
     // Leakage scales with area: every part stays below the LX760's and
     // keeps the -1L advantage.
-    EXPECT_LE(spec.static_power_w(fpga::SpeedGrade::kMinus2), 4.51);
+    EXPECT_LE(spec.static_power_w(fpga::SpeedGrade::kMinus2).value(), 4.51);
     EXPECT_LT(spec.static_power_w(fpga::SpeedGrade::kMinus1L),
               spec.static_power_w(fpga::SpeedGrade::kMinus2));
   }
@@ -137,8 +147,8 @@ TEST(DeviceCatalogTest, AllEntriesAreConsistent) {
 TEST(DeviceCatalogTest, SmallerPartsLeakLess) {
   const auto lx760 = fpga::DeviceSpec::xc6vlx760();
   const auto lx240 = fpga::DeviceSpec::xc6vlx240t();
-  EXPECT_LT(lx240.static_power_w(fpga::SpeedGrade::kMinus2),
-            0.5 * lx760.static_power_w(fpga::SpeedGrade::kMinus2));
+  EXPECT_LT(lx240.static_power_w(fpga::SpeedGrade::kMinus2).value(),
+            0.5 * lx760.static_power_w(fpga::SpeedGrade::kMinus2).value());
 }
 
 TEST(DeviceCatalogTest, SxPartIsBramHeavy) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/units.hpp"
 #include "fpga/bram.hpp"
 #include "fpga/device.hpp"
 #include "fpga/freq_model.hpp"
@@ -24,8 +25,8 @@ TEST(DeviceTest, Xc6vlx760MatchesTableII) {
 
 TEST(DeviceTest, StaticPowerMatchesSectionVA) {
   const DeviceSpec spec = DeviceSpec::xc6vlx760();
-  EXPECT_NEAR(spec.static_power_w(SpeedGrade::kMinus2), 4.5, 0.01);
-  EXPECT_NEAR(spec.static_power_w(SpeedGrade::kMinus1L), 3.1, 0.01);
+  EXPECT_NEAR(spec.static_power_w(SpeedGrade::kMinus2).value(), 4.5, 0.01);
+  EXPECT_NEAR(spec.static_power_w(SpeedGrade::kMinus1L).value(), 3.1, 0.01);
 }
 
 TEST(DeviceTest, LowPowerGradeHasLowerClockAndPower) {
@@ -53,32 +54,40 @@ TEST(IoBudgetTest, DegenerateBudgets) {
 // ------------------------------------------------------------ xpe tables --
 
 TEST(XpeTablesTest, TableIIICoefficients) {
-  EXPECT_DOUBLE_EQ(XpeTables::bram_uw_per_mhz(BramKind::k18, SpeedGrade::kMinus2),
-                   13.65);
-  EXPECT_DOUBLE_EQ(XpeTables::bram_uw_per_mhz(BramKind::k36, SpeedGrade::kMinus2),
-                   24.60);
-  EXPECT_DOUBLE_EQ(XpeTables::bram_uw_per_mhz(BramKind::k18, SpeedGrade::kMinus1L),
-                   11.00);
-  EXPECT_DOUBLE_EQ(XpeTables::bram_uw_per_mhz(BramKind::k36, SpeedGrade::kMinus1L),
-                   19.70);
+  EXPECT_DOUBLE_EQ(
+      XpeTables::bram_uw_per_mhz(BramKind::k18, SpeedGrade::kMinus2).value(),
+      13.65);
+  EXPECT_DOUBLE_EQ(
+      XpeTables::bram_uw_per_mhz(BramKind::k36, SpeedGrade::kMinus2).value(),
+      24.60);
+  EXPECT_DOUBLE_EQ(
+      XpeTables::bram_uw_per_mhz(BramKind::k18, SpeedGrade::kMinus1L).value(),
+      11.00);
+  EXPECT_DOUBLE_EQ(
+      XpeTables::bram_uw_per_mhz(BramKind::k36, SpeedGrade::kMinus1L).value(),
+      19.70);
 }
 
 TEST(XpeTablesTest, BramPowerLinearInFrequencyAndBlocks) {
-  const double p1 =
-      XpeTables::bram_power_w(BramKind::k36, SpeedGrade::kMinus2, 1, 100.0);
+  const double p1 = XpeTables::bram_power_w(BramKind::k36, SpeedGrade::kMinus2,
+                                            1, units::Megahertz{100.0})
+                        .value();
   EXPECT_NEAR(p1, 24.60e-6 * 100.0, 1e-12);
-  EXPECT_NEAR(
-      XpeTables::bram_power_w(BramKind::k36, SpeedGrade::kMinus2, 3, 200.0),
-      6.0 * p1, 1e-12);
+  EXPECT_NEAR(XpeTables::bram_power_w(BramKind::k36, SpeedGrade::kMinus2, 3,
+                                      units::Megahertz{200.0})
+                  .value(),
+              6.0 * p1, 1e-12);
 }
 
 TEST(XpeTablesTest, LogicCoefficientsMatchSectionVC) {
-  EXPECT_DOUBLE_EQ(XpeTables::logic_stage_uw_per_mhz(SpeedGrade::kMinus2),
-                   5.180);
-  EXPECT_DOUBLE_EQ(XpeTables::logic_stage_uw_per_mhz(SpeedGrade::kMinus1L),
-                   3.937);
+  EXPECT_DOUBLE_EQ(
+      XpeTables::logic_stage_uw_per_mhz(SpeedGrade::kMinus2).value(), 5.180);
+  EXPECT_DOUBLE_EQ(
+      XpeTables::logic_stage_uw_per_mhz(SpeedGrade::kMinus1L).value(), 3.937);
   // 28 stages at 400 MHz, grade -2: 28 * 5.18 * 400 µW ≈ 58 mW.
-  EXPECT_NEAR(XpeTables::logic_power_w(SpeedGrade::kMinus2, 28, 400.0),
+  EXPECT_NEAR(XpeTables::logic_power_w(SpeedGrade::kMinus2, 28,
+                                       units::Megahertz{400.0})
+                  .value(),
               0.0580, 0.0005);
 }
 
@@ -143,8 +152,11 @@ TEST(BramTest, MixedNeverWorseThan36Only) {
     const auto mixed = allocate_bram(bits, BramPolicy::kMixed);
     const auto only36 = allocate_bram(bits, BramPolicy::k36Only);
     EXPECT_LE(mixed.halves(), only36.halves());
-    EXPECT_LE(mixed.power_w(SpeedGrade::kMinus2, 400.0),
-              only36.power_w(SpeedGrade::kMinus2, 400.0) + 1e-12);
+    EXPECT_LE(mixed.power_w(SpeedGrade::kMinus2, units::Megahertz{400.0})
+                  .value(),
+              only36.power_w(SpeedGrade::kMinus2, units::Megahertz{400.0})
+                      .value() +
+                  1e-12);
   }
 }
 
@@ -182,8 +194,8 @@ TEST(FreqModelTest, LightDesignRunsNearBaseClock) {
   light.max_stage_blocks36eq = 1.0;
   light.bram_halves = 4;
   light.pipelines = 1;
-  EXPECT_NEAR(achievable_fmax_mhz(spec, SpeedGrade::kMinus2, light),
-              spec.base_fmax_mhz(SpeedGrade::kMinus2), 1.0);
+  EXPECT_NEAR(achievable_fmax_mhz(spec, SpeedGrade::kMinus2, light).value(),
+              spec.base_fmax_mhz(SpeedGrade::kMinus2).value(), 1.0);
 }
 
 TEST(FreqModelTest, WideStagesSlowTheClock) {
@@ -203,7 +215,8 @@ TEST(FreqModelTest, MonotoneInEveryCongestionInput) {
   base.max_stage_blocks36eq = 3.0;
   base.bram_halves = 100;
   base.pipelines = 4;
-  const double f0 = achievable_fmax_mhz(spec, SpeedGrade::kMinus2, base);
+  const units::Megahertz f0 =
+      achievable_fmax_mhz(spec, SpeedGrade::kMinus2, base);
   for (auto mutate : {+[](DesignResources& r) { r.max_stage_blocks36eq *= 2; },
                       +[](DesignResources& r) { r.bram_halves *= 4; },
                       +[](DesignResources& r) { r.pipelines += 8; }}) {
@@ -219,8 +232,9 @@ TEST(FreqModelTest, LowPowerGradeScalesDown) {
   r.max_stage_blocks36eq = 2.0;
   r.bram_halves = 50;
   r.pipelines = 2;
-  const double f2 = achievable_fmax_mhz(spec, SpeedGrade::kMinus2, r);
-  const double f1l = achievable_fmax_mhz(spec, SpeedGrade::kMinus1L, r);
+  const units::Megahertz f2 = achievable_fmax_mhz(spec, SpeedGrade::kMinus2, r);
+  const units::Megahertz f1l =
+      achievable_fmax_mhz(spec, SpeedGrade::kMinus1L, r);
   EXPECT_NEAR(f1l / f2, 280.0 / 400.0, 1e-9);
 }
 
@@ -247,20 +261,20 @@ TEST_F(PnrSimTest, DeterministicReports) {
   const PnrDesign design = simple_design(4, 0.25);
   const PnrReport a = sim_.analyze(design);
   const PnrReport b = sim_.analyze(design);
-  EXPECT_DOUBLE_EQ(a.total_w(), b.total_w());
-  EXPECT_DOUBLE_EQ(a.clock_mhz, b.clock_mhz);
+  EXPECT_DOUBLE_EQ(a.total_w().value(), b.total_w().value());
+  EXPECT_DOUBLE_EQ(a.clock_mhz.value(), b.clock_mhz.value());
 }
 
 TEST_F(PnrSimTest, StaticPowerNearGradeValue) {
   const PnrReport report = sim_.analyze(simple_design(1, 1.0));
-  EXPECT_NEAR(report.static_w, 4.5, 4.5 * 0.05);  // Sec. V-A ±5 %
+  EXPECT_NEAR(report.static_w.value(), 4.5, 4.5 * 0.05);  // Sec. V-A ±5 %
 }
 
 TEST_F(PnrSimTest, ZeroActivityKillsDynamicPower) {
   const PnrReport report = sim_.analyze(simple_design(2, 0.0));
-  EXPECT_DOUBLE_EQ(report.logic_w, 0.0);
-  EXPECT_DOUBLE_EQ(report.bram_w, 0.0);
-  EXPECT_GT(report.static_w, 0.0);
+  EXPECT_DOUBLE_EQ(report.logic_w.value(), 0.0);
+  EXPECT_DOUBLE_EQ(report.bram_w.value(), 0.0);
+  EXPECT_GT(report.static_w.value(), 0.0);
 }
 
 TEST_F(PnrSimTest, DynamicScalesWithActivity) {
@@ -272,10 +286,11 @@ TEST_F(PnrSimTest, DynamicScalesWithActivity) {
 
 TEST_F(PnrSimTest, RequestedFrequencyCapsClock) {
   PnrDesign design = simple_design(1, 1.0);
-  design.requested_freq_mhz = 150.0;
-  EXPECT_NEAR(sim_.analyze(design).clock_mhz, 150.0, 1e-9);
-  design.requested_freq_mhz = 10000.0;  // above Fmax: clipped to Fmax
-  EXPECT_LT(sim_.analyze(design).clock_mhz, 10000.0);
+  design.requested_freq_mhz = units::Megahertz{150.0};
+  EXPECT_NEAR(sim_.analyze(design).clock_mhz.value(), 150.0, 1e-9);
+  // Above Fmax: clipped to Fmax.
+  design.requested_freq_mhz = units::Megahertz{10000.0};
+  EXPECT_LT(sim_.analyze(design).clock_mhz.value(), 10000.0);
 }
 
 TEST_F(PnrSimTest, BramOverflowThrows) {
@@ -294,9 +309,9 @@ TEST_F(PnrSimTest, ReplicationReducesPerPipelineLogicPower) {
   // Clock-tree sharing: K pipelines consume < K × one pipeline's logic
   // power at the same clock and activity.
   PnrDesign one = simple_design(1, 1.0);
-  one.requested_freq_mhz = 200.0;
+  one.requested_freq_mhz = units::Megahertz{200.0};
   PnrDesign eight = simple_design(8, 1.0);
-  eight.requested_freq_mhz = 200.0;
+  eight.requested_freq_mhz = units::Megahertz{200.0};
   const PnrReport r1 = sim_.analyze(one);
   const PnrReport r8 = sim_.analyze(eight);
   EXPECT_LT(r8.logic_w, 8.0 * r1.logic_w);
@@ -308,7 +323,7 @@ TEST_F(PnrSimTest, ReplicationTrimsStaticPower) {
   const PnrReport r8 = sim_.analyze(simple_design(8, 0.1));
   EXPECT_LT(r8.static_w, r1.static_w * 1.03);
   // The trim plus area growth stays inside the ±5 % band.
-  EXPECT_NEAR(r8.static_w, 4.5, 4.5 * 0.05);
+  EXPECT_NEAR(r8.static_w.value(), 4.5, 4.5 * 0.05);
 }
 
 TEST_F(PnrSimTest, UtilizationFieldsPopulated) {

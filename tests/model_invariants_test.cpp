@@ -1,0 +1,181 @@
+// Property tests over randomized Scenarios: structural invariants the
+// paper's analytical model (Sec. IV) must satisfy for EVERY deployment,
+// not just the configurations the figures happen to plot. Each trial
+// draws (K, µ_i, N, α, speed grade, table seed) from a seeded generator;
+// a failure prints the trial's draw so it can be replayed exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/estimator.hpp"
+#include "fpga/device.hpp"
+
+namespace vr::core {
+namespace {
+
+constexpr std::uint64_t kMasterSeed = 0x5eedf00d;
+constexpr int kTrials = 8;
+
+struct Draw {
+  std::size_t vn_count = 0;
+  std::size_t stages = 0;
+  double alpha = 0.0;
+  fpga::SpeedGrade grade = fpga::SpeedGrade::kMinus2;
+  std::uint64_t table_seed = 0;
+  std::vector<double> utilization;
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << "draw{K=" << vn_count << " N=" << stages << " alpha=" << alpha
+       << " grade=" << fpga::to_string(grade) << " seed=" << table_seed
+       << " mu=[";
+    for (std::size_t i = 0; i < utilization.size(); ++i) {
+      os << (i ? "," : "") << utilization[i];
+    }
+    os << "]}";
+    return os.str();
+  }
+};
+
+Draw random_draw(Rng& rng) {
+  Draw d;
+  d.vn_count = rng.next_in(2, 10);
+  // Lower bound: a leaf-pushed edge-profile trie can reach 28 levels, and
+  // the kOneLevelPerStage mapping needs a stage per level.
+  d.stages = rng.next_in(28, 36);
+  d.alpha = 0.2 + 0.7 * rng.next_double();
+  d.grade = rng.next_bool(0.5) ? fpga::SpeedGrade::kMinus2
+                               : fpga::SpeedGrade::kMinus1L;
+  d.table_seed = rng.next_in(1, 1 << 20);
+  d.utilization.resize(d.vn_count);
+  for (double& mu : d.utilization) mu = rng.next_double();
+  return d;
+}
+
+Scenario scenario_from(const Draw& d, power::Scheme scheme) {
+  Scenario s;
+  s.scheme = scheme;
+  s.vn_count = d.vn_count;
+  s.stages = d.stages;
+  s.alpha = d.alpha;
+  s.grade = d.grade;
+  s.seed = d.table_seed;
+  s.utilization = d.utilization;
+  return s;
+}
+
+class ModelInvariantsTest : public ::testing::Test {
+ protected:
+  PowerEstimator estimator_{fpga::DeviceSpec::xc6vlx760()};
+};
+
+// Eq. 2: the non-virtualized deployment pays one full device's leakage
+// per VN — static power is exactly K times the catalog value.
+TEST_F(ModelInvariantsTest, NvStaticPowerScalesWithVnCount) {
+  Rng rng(kMasterSeed);
+  for (int t = 0; t < kTrials; ++t) {
+    const Draw d = random_draw(rng);
+    SCOPED_TRACE(d.describe());
+    const Estimate est =
+        estimator_.estimate(scenario_from(d, power::Scheme::kNonVirtualized));
+    const units::Watts per_device =
+        estimator_.device().static_power_w(d.grade);
+    EXPECT_DOUBLE_EQ(est.power.static_w.value(),
+                     static_cast<double>(d.vn_count) * per_device.value());
+    EXPECT_EQ(est.power.devices, d.vn_count);
+  }
+}
+
+// Sec. VI-B: the merged engine's memory grows with K, congesting the
+// device, so its achievable clock never speeds up as VNs are added.
+TEST_F(ModelInvariantsTest, MergedFrequencyMonotoneNonIncreasingInK) {
+  Rng rng(kMasterSeed ^ 0x1);
+  for (int t = 0; t < kTrials; ++t) {
+    Draw d = random_draw(rng);
+    SCOPED_TRACE(d.describe());
+    units::Megahertz prev{0.0};
+    for (std::size_t k = 1; k <= 8; ++k) {
+      d.vn_count = k;
+      d.utilization.clear();  // uniform 1/K
+      const Estimate est =
+          estimator_.estimate(scenario_from(d, power::Scheme::kMerged));
+      if (k > 1) {
+        EXPECT_LE(est.freq_mhz.value(), prev.value())
+            << "clock sped up going to K=" << k;
+      }
+      prev = est.freq_mhz;
+    }
+  }
+}
+
+// The breakdown is a partition: every component non-negative and the
+// total is exactly their sum, for every scheme.
+TEST_F(ModelInvariantsTest, ComponentsNonNegativeAndSumToTotal) {
+  Rng rng(kMasterSeed ^ 0x2);
+  for (int t = 0; t < kTrials; ++t) {
+    const Draw d = random_draw(rng);
+    SCOPED_TRACE(d.describe());
+    for (const power::Scheme scheme :
+         {power::Scheme::kNonVirtualized, power::Scheme::kSeparate,
+          power::Scheme::kMerged}) {
+      const Estimate est = estimator_.estimate(scenario_from(d, scheme));
+      const power::PowerBreakdown& p = est.power;
+      EXPECT_GE(p.static_w.value(), 0.0);
+      EXPECT_GE(p.logic_w.value(), 0.0);
+      EXPECT_GE(p.memory_w.value(), 0.0);
+      EXPECT_DOUBLE_EQ(
+          p.total_w().value(),
+          p.static_w.value() + p.logic_w.value() + p.memory_w.value());
+      EXPECT_GT(est.throughput_gbps.value(), 0.0);
+    }
+  }
+}
+
+// Sec. V-A / Table III: the -1L grade leaks less and its coefficients
+// are smaller, so at an otherwise identical configuration it never
+// consumes more than -2.
+TEST_F(ModelInvariantsTest, LowPowerGradeNeverExceedsStandardGrade) {
+  Rng rng(kMasterSeed ^ 0x3);
+  for (int t = 0; t < kTrials; ++t) {
+    Draw d = random_draw(rng);
+    SCOPED_TRACE(d.describe());
+    for (const power::Scheme scheme :
+         {power::Scheme::kNonVirtualized, power::Scheme::kSeparate,
+          power::Scheme::kMerged}) {
+      d.grade = fpga::SpeedGrade::kMinus2;
+      const Estimate fast = estimator_.estimate(scenario_from(d, scheme));
+      d.grade = fpga::SpeedGrade::kMinus1L;
+      const Estimate low = estimator_.estimate(scenario_from(d, scheme));
+      EXPECT_LE(low.power.total_w().value(), fast.power.total_w().value());
+      EXPECT_LE(low.power.static_w.value(), fast.power.static_w.value());
+    }
+  }
+}
+
+// Fig. 8's ordering in the paper's operating range: sharing one device
+// across K pipelines (VS) is the most power-efficient; one engine per
+// device (NV) pays K times the leakage for the same aggregate capacity;
+// merging into a single pipeline (VM) also gives up K-fold throughput,
+// making it the least efficient per Gbps.
+TEST_F(ModelInvariantsTest, EfficiencyOrdersSchemesAsInFig8) {
+  Rng rng(kMasterSeed ^ 0x4);
+  for (int t = 0; t < kTrials; ++t) {
+    Draw d = random_draw(rng);
+    d.utilization.clear();  // uniform 1/K (Assumption 1)
+    SCOPED_TRACE(d.describe());
+    const Estimate nv =
+        estimator_.estimate(scenario_from(d, power::Scheme::kNonVirtualized));
+    const Estimate vs =
+        estimator_.estimate(scenario_from(d, power::Scheme::kSeparate));
+    const Estimate vm =
+        estimator_.estimate(scenario_from(d, power::Scheme::kMerged));
+    EXPECT_LE(vs.mw_per_gbps.value(), nv.mw_per_gbps.value());
+    EXPECT_LE(nv.mw_per_gbps.value(), vm.mw_per_gbps.value());
+  }
+}
+
+}  // namespace
+}  // namespace vr::core

@@ -160,7 +160,7 @@ TEST_F(MultipipePowerTest, DeeperSplitCutsLogicPower) {
 
 TEST_F(MultipipePowerTest, MorePipelinesRaiseThroughput) {
   const UnibitTrie trie = make_trie(8, 2000);
-  double prev_gbps = 0.0;
+  units::Gbps prev_gbps{0.0};
   for (const std::size_t p : {1ul, 2ul, 4ul}) {
     PartitionConfig config;
     config.split_level = 8;
@@ -203,9 +203,9 @@ TEST_F(MultipipePowerTest, LoadScalesDynamicOnly) {
   half.load = 0.5;
   const MultipipeReport full = evaluate_multipipe(partition, device_);
   const MultipipeReport halved = evaluate_multipipe(partition, device_, half);
-  EXPECT_NEAR(halved.logic_w, 0.5 * full.logic_w, 1e-12);
-  EXPECT_NEAR(halved.memory_w, 0.5 * full.memory_w, 1e-12);
-  EXPECT_DOUBLE_EQ(halved.static_w, full.static_w);
+  EXPECT_NEAR(halved.logic_w.value(), 0.5 * full.logic_w.value(), 1e-12);
+  EXPECT_NEAR(halved.memory_w.value(), 0.5 * full.memory_w.value(), 1e-12);
+  EXPECT_DOUBLE_EQ(halved.static_w.value(), full.static_w.value());
 }
 
 }  // namespace

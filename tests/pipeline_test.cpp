@@ -324,7 +324,7 @@ TEST_F(RouterFixture, MeasuredPowerMatchesAnalyticalAtUniformLoad) {
   const fpga::StageBramPlan plan =
       fpga::plan_stage_bram(stage_bits, fpga::BramPolicy::kMixed);
 
-  const double freq = 300.0;
+  const units::Megahertz freq{300.0};
   const EnginePower measured = measure_engine_power(
       router.engine(0).activity(), plan, fpga::SpeedGrade::kMinus2, freq);
 
@@ -332,11 +332,12 @@ TEST_F(RouterFixture, MeasuredPowerMatchesAnalyticalAtUniformLoad) {
   // below 0.6 because of drain cycles at the trace tail).
   const double util = router.engine(0).activity().mean_stage_utilization();
   const double logic_expected =
-      fpga::XpeTables::logic_power_w(fpga::SpeedGrade::kMinus2, kStages,
-                                     freq) *
+      fpga::XpeTables::logic_power_w(fpga::SpeedGrade::kMinus2, kStages, freq)
+          .value() *
       util;
-  EXPECT_NEAR(measured.logic_w, logic_expected, logic_expected * 0.01);
-  EXPECT_GT(measured.memory_w, 0.0);
+  EXPECT_NEAR(measured.logic_w.value(), logic_expected,
+              logic_expected * 0.01);
+  EXPECT_GT(measured.memory_w.value(), 0.0);
   EXPECT_GT(measured.dynamic_w(), measured.logic_w);
 }
 
@@ -347,8 +348,8 @@ TEST(EnergyTest, ZeroCyclesGiveZeroPower) {
   fpga::StageBramPlan plan =
       fpga::plan_stage_bram({100, 100, 100, 100}, fpga::BramPolicy::kMixed);
   const EnginePower power = measure_engine_power(
-      counters, plan, fpga::SpeedGrade::kMinus2, 400.0);
-  EXPECT_DOUBLE_EQ(power.dynamic_w(), 0.0);
+      counters, plan, fpga::SpeedGrade::kMinus2, units::Megahertz{400.0});
+  EXPECT_DOUBLE_EQ(power.dynamic_w().value(), 0.0);
 }
 
 TEST(EnergyTest, MismatchedStageCountsDie) {
@@ -358,9 +359,10 @@ TEST(EnergyTest, MismatchedStageCountsDie) {
   counters.stage_reads.assign(4, 1);
   fpga::StageBramPlan plan =
       fpga::plan_stage_bram({100, 100}, fpga::BramPolicy::kMixed);
-  EXPECT_DEATH((void)measure_engine_power(counters, plan,
-                                          fpga::SpeedGrade::kMinus2, 400.0),
-               "stage count");
+  EXPECT_DEATH(
+      (void)measure_engine_power(counters, plan, fpga::SpeedGrade::kMinus2,
+                                 units::Megahertz{400.0}),
+      "stage count");
 }
 
 }  // namespace

@@ -124,15 +124,16 @@ TEST(TcamPowerTest, DynamicScalesWithTriggeredEntries) {
   const TcamPowerReport full = tcam_power(1000, 1000);
   const TcamPowerReport banked = tcam_power(1000, 125);
   EXPECT_NEAR(full.dynamic_w / banked.dynamic_w, 8.0, 1e-9);
-  EXPECT_DOUBLE_EQ(full.static_w, banked.static_w);  // same stored bits
+  EXPECT_DOUBLE_EQ(full.static_w.value(),
+                   banked.static_w.value());  // same stored bits
 }
 
 TEST(TcamPowerTest, MagnitudeMatchesLiterature) {
   // A 512K x 36b (18 Mbit-class) TCAM searching every entry at 150 MHz
   // lands in the ~15 W regime the paper's related work describes.
   const TcamPowerReport report = tcam_power(512 * 1024, 512 * 1024);
-  EXPECT_GT(report.total_w(), 10.0);
-  EXPECT_LT(report.total_w(), 25.0);
+  EXPECT_GT(report.total_w().value(), 10.0);
+  EXPECT_LT(report.total_w().value(), 25.0);
 }
 
 TEST(TcamPowerTest, PartitioningCutsMwPerGbps) {
@@ -147,9 +148,9 @@ TEST(TcamPowerTest, PartitioningCutsMwPerGbps) {
 
 TEST(TcamPowerTest, ThroughputFromClock) {
   TcamPowerParams params;
-  params.clock_mhz = 150.0;
+  params.clock_mhz = units::Megahertz{150.0};
   const TcamPowerReport report = tcam_power(100, 100, params);
-  EXPECT_NEAR(report.throughput_gbps, 48.0, 1e-9);  // 0.32 * 150
+  EXPECT_NEAR(report.throughput_gbps.value(), 48.0, 1e-9);  // 0.32 * 150
 }
 
 }  // namespace

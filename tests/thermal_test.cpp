@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/units.hpp"
 #include "fpga/thermal.hpp"
 
 namespace vr::fpga {
@@ -12,25 +13,28 @@ TEST(ThermalTest, MultiplierIsOneAtCharacterizationPoint) {
 }
 
 TEST(ThermalTest, ZeroPowerStaysAtAmbient) {
-  const ThermalOperatingPoint point = solve_thermal(0.0, 0.0);
+  const ThermalOperatingPoint point =
+      solve_thermal(units::Watts{0.0}, units::Watts{0.0});
   EXPECT_DOUBLE_EQ(point.t_junction_c, 25.0);
-  EXPECT_DOUBLE_EQ(point.total_w, 0.0);
+  EXPECT_DOUBLE_EQ(point.total_w.value(), 0.0);
   EXPECT_TRUE(point.within_limits);
 }
 
 TEST(ThermalTest, FixedPointSatisfiesTheLoopEquation) {
   const ThermalParams params;
-  const ThermalOperatingPoint point = solve_thermal(4.5, 0.25, params);
+  const ThermalOperatingPoint point =
+      solve_thermal(units::Watts{4.5}, units::Watts{0.25}, params);
   const double expected_t =
-      params.ambient_c + params.theta_ja_c_per_w * point.total_w;
+      params.ambient_c + params.theta_ja_c_per_w * point.total_w.value();
   EXPECT_NEAR(point.t_junction_c, expected_t, 1e-6);
-  EXPECT_NEAR(point.static_w,
+  EXPECT_NEAR(point.static_w.value(),
               4.5 * leakage_multiplier(point.t_junction_c, params), 1e-9);
 }
 
 TEST(ThermalTest, SettledPowerExceedsColdPower) {
-  const ThermalOperatingPoint point = solve_thermal(4.5, 0.25);
-  EXPECT_GT(point.static_w, 4.5);
+  const ThermalOperatingPoint point =
+      solve_thermal(units::Watts{4.5}, units::Watts{0.25});
+  EXPECT_GT(point.static_w.value(), 4.5);
   EXPECT_GT(point.t_junction_c, 25.0);
   EXPECT_TRUE(point.within_limits);
 }
@@ -38,7 +42,8 @@ TEST(ThermalTest, SettledPowerExceedsColdPower) {
 TEST(ThermalTest, MonotoneInInputPower) {
   double prev_t = 0.0;
   for (const double dynamic : {0.0, 1.0, 4.0, 10.0}) {
-    const ThermalOperatingPoint point = solve_thermal(4.5, dynamic);
+    const ThermalOperatingPoint point =
+        solve_thermal(units::Watts{4.5}, units::Watts{dynamic});
     EXPECT_GT(point.t_junction_c, prev_t);
     prev_t = point.t_junction_c;
   }
@@ -47,12 +52,14 @@ TEST(ThermalTest, MonotoneInInputPower) {
 TEST(ThermalTest, PoorHeatsinkBreachesJunctionLimit) {
   ThermalParams params;
   params.theta_ja_c_per_w = 12.0;  // no heatsink
-  const ThermalOperatingPoint point = solve_thermal(4.5, 1.0, params);
+  const ThermalOperatingPoint point =
+      solve_thermal(units::Watts{4.5}, units::Watts{1.0}, params);
   EXPECT_FALSE(point.within_limits);
 }
 
 TEST(ThermalTest, ConvergesQuickly) {
-  const ThermalOperatingPoint point = solve_thermal(4.5, 0.5);
+  const ThermalOperatingPoint point =
+      solve_thermal(units::Watts{4.5}, units::Watts{0.5});
   EXPECT_LT(point.iterations, 50u);
 }
 

@@ -135,5 +135,26 @@ TEST(UnitsTest, PositiveOperatingPointUnaffectedByGuard) {
   EXPECT_DOUBLE_EQ(pj_over_cycles_to_w(1000.0, 100.0, 400.0), 0.004);
 }
 
+TEST(UnitsTest, BitsToKbitsKeepsSubKbitFractions) {
+  // Display sites must divide in double, not in the integer Bits rep:
+  // 18 Kb + 1 bit is strictly more than 18 Kb, and sub-Kbit memories
+  // (tail pipeline stages) must not display as zero.
+  EXPECT_DOUBLE_EQ(bits_to_kbits(Bits{18 * 1024}), 18.0);
+  EXPECT_GT(bits_to_kbits(Bits{18 * 1024 + 1}), 18.0);
+  EXPECT_DOUBLE_EQ(bits_to_kbits(Bits{512}), 0.5);
+  EXPECT_GT(bits_to_kbits(Bits{1}), 0.0);
+  // The uint64 integer division these sites used to do truncates both.
+  EXPECT_EQ((Bits{18 * 1024 + 1}.value() / 1024), 18u);
+  EXPECT_EQ((Bits{512}.value() / 1024), 0u);
+}
+
+TEST(UnitsTest, EnergyTimeAlgebra) {
+  const Joules e = Watts{4.5} * elapsed(Cycles{4e8}, Megahertz{400.0});
+  EXPECT_DOUBLE_EQ(e.value(), 4.5);  // 1 s at 4.5 W
+  EXPECT_DOUBLE_EQ((e / Seconds{2.0}).value(), 2.25);
+  EXPECT_DOUBLE_EQ(period(Megahertz{400.0}).value(), 2.5);
+  EXPECT_DOUBLE_EQ(to_picojoules(to_joules(Picojoules{42.0})).value(), 42.0);
+}
+
 }  // namespace
 }  // namespace vr::units

@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
 """Project-specific unit lint for the vrpower tree.
 
-Two rules, both about keeping physical quantities honest:
+Three rules, all about keeping physical quantities honest:
 
-1. Typed boundary (src/power/*.hpp, src/core/*.hpp): public power-model
-   headers must not declare naked-`double` parameters or members that carry
-   a physical dimension (power, frequency, energy, throughput, memory
-   size). Those must use the strong quantity types from common/units.hpp
-   (units::Watts, units::Megahertz, units::Bits, ...). Dimensionless
-   quantities (utilizations, alpha, percentages, rates) stay `double`.
+1. Typed boundary (src/{power,core,fpga,pipeline,multipipe,tcam}/*.hpp):
+   headers of the power-model layers must not declare naked-`double`
+   parameters, members, or return types that carry a physical dimension
+   (power, frequency, energy, throughput, memory size). Those must use
+   the strong quantity types from common/units.hpp (units::Watts,
+   units::Megahertz, units::Bits, ...). Dimensionless quantities
+   (utilizations, alpha, percentages, rates) stay `double`.
 
-2. Suffix convention (every other header under src/): a `double` whose
-   name mentions a dimensioned concept must spell its unit as a suffix
-   (`power_w`, `freq_mhz`, `throughput_gbps`, ...) so readers and future
-   migrations know what the number means.
+2. Typed return types (.cpp files of the same layers): a function
+   *definition* returning naked `double` with a dimensioned name is a
+   boundary leak even when it only appears in the implementation file.
+
+3. Suffix convention (everything else under src/, including `double`
+   locals in typed-layer .cpp files): a `double` whose name mentions a
+   dimensioned concept must spell its unit as a suffix (`power_w`,
+   `freq_mhz`, `throughput_gbps`, ...) so readers and future migrations
+   know what the number means.
 
 A declaration can be exempted with an inline comment on the same or the
 preceding line:
@@ -29,16 +35,19 @@ import pathlib
 import re
 import sys
 
+# Layers whose headers must use units:: quantity types end-to-end.
+TYPED_DIRS = {"power", "core", "fpga", "pipeline", "multipipe", "tcam"}
+
 # Concepts that imply a physical dimension when they appear in a name.
 DIMENSIONED = re.compile(
     r"(?:^|_)(power|freq|frequency|energy|watt|watts|throughput)(?:_|$)|"
     r"_(w|mw|uw|mhz|ghz|pj|gbps|mbps|bits|kbits|joules)$"
 )
 
-# Unit suffixes that satisfy rule 2 (and names that *are* unit words,
+# Unit suffixes that satisfy rule 3 (and names that *are* unit words,
 # e.g. the conversion-helper parameters in common/units.hpp).
 SUFFIX_OK = re.compile(
-    r"_(w|mw|uw|mhz|ghz|hz|pj|pj_per_cycle|gbps|mbps|bits|kbits|bytes|"
+    r"_(w|mw|uw|mhz|ghz|hz|j|pj|pj_per_cycle|gbps|mbps|bits|kbits|bytes|"
     r"pct|percent|ns|us|ms|s|seconds|per_second|per_cycle|per_mhz)$"
 )
 UNIT_WORDS = {
@@ -46,9 +55,16 @@ UNIT_WORDS = {
     "cycles", "gbps", "coefficient", "packet_bytes",
 }
 
-# `double name` as a parameter or member. Keeps to single declarations;
-# good enough for this codebase's style (one declaration per line).
+# `double name` as a parameter, member, or local. Keeps to single
+# declarations; good enough for this codebase's style (one declaration
+# per line).
 DOUBLE_DECL = re.compile(r"\bdouble\s+(?:&\s*)?([A-Za-z_][A-Za-z0-9_]*)")
+
+# `double Klass::fn(` / `double fn(` — a function definition or
+# declaration returning naked double.
+RETURN_DECL = re.compile(
+    r"\bdouble\s+(?:[A-Za-z_][A-Za-z0-9_]*::)*([A-Za-z_][A-Za-z0-9_]*)\s*\("
+)
 
 SUPPRESS = re.compile(r"//\s*units-ok\b")
 
@@ -57,25 +73,29 @@ def strip_comment(line: str) -> str:
     return line.split("//", 1)[0]
 
 
-def lint_file(path: pathlib.Path, typed_boundary: bool) -> list[str]:
+def lint_file(path: pathlib.Path, mode: str) -> list[str]:
+    """Lint one file. mode: 'typed-header', 'typed-impl', or 'suffix'."""
     problems = []
     lines = path.read_text().splitlines()
     for i, raw in enumerate(lines):
         if SUPPRESS.search(raw) or (i > 0 and SUPPRESS.search(lines[i - 1])):
             continue
         code = strip_comment(raw)
+        return_names = {m.group(1) for m in RETURN_DECL.finditer(code)}
         for m in DOUBLE_DECL.finditer(code):
             name = m.group(1)
             if name in UNIT_WORDS:
                 continue
             if not DIMENSIONED.search(name):
                 continue
-            if typed_boundary:
+            typed_violation = mode == "typed-header" or (
+                mode == "typed-impl" and name in return_names
+            )
+            if typed_violation:
                 problems.append(
                     f"{path}:{i + 1}: naked-double dimensioned quantity "
-                    f"'{name}' in a typed-boundary header — use a "
-                    f"units:: quantity type (or annotate '// units-ok: "
-                    f"<reason>')"
+                    f"'{name}' in a typed layer — use a units:: quantity "
+                    f"type (or annotate '// units-ok: <reason>')"
                 )
             elif not SUFFIX_OK.search(name):
                 problems.append(
@@ -99,13 +119,17 @@ def main() -> int:
         return 2
 
     problems = []
-    for path in sorted(src.rglob("*.hpp")):
+    for path in sorted(list(src.rglob("*.hpp")) + list(src.rglob("*.cpp"))):
         rel = path.relative_to(src)
-        typed = rel.parts[0] in ("power", "core")
+        typed = rel.parts[0] in TYPED_DIRS
         # units.hpp itself defines the raw conversion helpers.
         if rel == pathlib.Path("common/units.hpp"):
             typed = False
-        problems += lint_file(path, typed)
+        if typed:
+            mode = "typed-header" if path.suffix == ".hpp" else "typed-impl"
+        else:
+            mode = "suffix"
+        problems += lint_file(path, mode)
 
     for p in problems:
         print(p)

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Byte-for-byte golden regression check for one figure/table binary.
+#
+#   tools/golden_check.sh <binary> <golden-file>
+#
+# Runs <binary> with no arguments and diffs its full stdout against the
+# checked-in golden. Any difference — a reordered row, a reformatted
+# number, a changed last decimal — fails. Regenerate a golden ONLY for an
+# intentional model change, by re-running the binary and committing the
+# new file together with the change that explains it:
+#
+#   build/bench/fig5_total_power > tests/golden/fig5_total_power.txt
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <binary> <golden-file>" >&2
+  exit 2
+fi
+
+binary=$1
+golden=$2
+
+if [[ ! -x "$binary" ]]; then
+  echo "golden_check: binary not found or not executable: $binary" >&2
+  exit 2
+fi
+if [[ ! -f "$golden" ]]; then
+  echo "golden_check: golden file missing: $golden" >&2
+  exit 2
+fi
+
+actual=$(mktemp)
+trap 'rm -f "$actual"' EXIT
+
+"$binary" > "$actual"
+
+if ! diff -u "$golden" "$actual"; then
+  echo "golden_check: $(basename "$binary") output diverged from" \
+       "$golden" >&2
+  exit 1
+fi
+echo "golden_check: $(basename "$binary") matches $(basename "$golden")"
