@@ -8,6 +8,12 @@
 //                 bit-identical for every thread count)
 //   --serial      shorthand for --threads 1 --no-cache (the seed behaviour)
 //   --no-cache    rebuild every workload instead of using WorkloadCache
+//
+// Every binary accepts:
+//   --metrics[=path.json]   at exit, dump the process-wide obs registry as
+//                           JSON to `path` (default metrics.json). Written
+//                           to a file, never stdout, so the golden
+//                           byte-for-byte stdout comparisons are unaffected.
 #pragma once
 
 #include <algorithm>
@@ -17,8 +23,38 @@
 
 #include "common/table.hpp"
 #include "core/figures.hpp"
+#include "obs/registry.hpp"
+#include "obs/sink.hpp"
 
 namespace vr::bench {
+
+/// Consumes a `--metrics[=path]` argument if present: registers an atexit
+/// hook that serializes obs::Registry::global() to the JSON file. Safe to
+/// call from any main(); flags it does not own are left for the caller.
+inline void handle_metrics_flag(int argc, char** argv) {
+  static std::string path;  // read by the atexit hook after main returns
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics") {
+      path = "metrics.json";
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      path = arg.substr(std::string("--metrics=").size());
+    } else {
+      continue;
+    }
+    // Touch the registry before registering the hook: statics are torn
+    // down in reverse construction order, so this guarantees the registry
+    // is still alive when the atexit callback runs after main() returns.
+    (void)obs::Registry::global();
+    std::atexit([] {
+      const obs::MetricsSink sink(obs::Registry::global());
+      if (!sink.write_json_file(path)) {
+        std::cerr << "vrpower: failed to write metrics to " << path << '\n';
+      }
+    });
+    return;
+  }
+}
 
 /// Paper-sized sweep options (3 725-prefix tables, K = 1..15, N = 28).
 inline core::FigureOptions paper_options() { return core::FigureOptions{}; }
@@ -26,6 +62,7 @@ inline core::FigureOptions paper_options() { return core::FigureOptions{}; }
 /// Paper-sized options with the common command-line flags applied.
 inline core::FigureOptions paper_options(int argc, char** argv) {
   core::FigureOptions opt;
+  handle_metrics_flag(argc, argv);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {

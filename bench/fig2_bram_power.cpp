@@ -2,8 +2,9 @@
 // operating frequency for speed grades -2 and -1L.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vr;
+  bench::handle_metrics_flag(argc, argv);
   const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
                                     bench::paper_options());
   bench::emit(builder.fig2_bram_power());

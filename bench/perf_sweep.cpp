@@ -9,7 +9,10 @@
 // flat-SoA batched-lookup throughput. Exits non-zero if outputs diverge.
 //
 // Flags: --threads N, --output FILE (default BENCH_sweep.json), --quick
-// (reduced table/sweep for CI smoke use).
+// (reduced table/sweep for CI smoke use). The obs registry (cache hit
+// rate, per-task sweep timing, dataplane drop/latency stats) is embedded
+// in the JSON under "metrics"; --metrics[=path] additionally dumps it to
+// its own file.
 #include <chrono>
 #include <fstream>
 #include <sstream>
@@ -19,6 +22,7 @@
 #include "common/rng.hpp"
 #include "core/sweep.hpp"
 #include "core/workload_cache.hpp"
+#include "dataplane/full_router.hpp"
 #include "netbase/table_gen.hpp"
 #include "trie/flat_trie.hpp"
 #include "trie/unibit_trie.hpp"
@@ -67,10 +71,45 @@ double batched_lookup_mlps(const vr::core::FigureOptions& opt) {
   return static_cast<double>(kLookups) / 1e3 / ms;
 }
 
+/// One small deterministic end-to-end dataplane run (3 VNs, separate
+/// engines, a tight queue to force some tail drops) so the embedded
+/// metrics block carries scheduler drop and latency statistics.
+vr::dataplane::FullRouterResult dataplane_phase(bool quick) {
+  using namespace vr;
+  net::TableProfile profile;
+  profile.prefix_count = quick ? 200 : 600;
+  const net::SyntheticTableGenerator gen(profile);
+  std::vector<net::RoutingTable> tables;
+  std::vector<const net::RoutingTable*> table_ptrs;
+  for (std::uint64_t v = 0; v < 3; ++v) tables.push_back(gen.generate(30 + v));
+  for (const auto& t : tables) table_ptrs.push_back(&t);
+
+  std::vector<trie::UnibitTrie> tries;
+  std::vector<pipeline::TrieView> views;
+  for (const auto& t : tables) {
+    tries.emplace_back(trie::UnibitTrie(t).leaf_pushed());
+  }
+  for (const auto& t : tries) views.emplace_back(t);
+
+  dataplane::FrameGenConfig frame_config;
+  frame_config.traffic.cycles = quick ? 3000 : 10000;
+  frame_config.traffic.load = 0.7;
+  frame_config.corrupt_fraction = 0.02;
+  const dataplane::FrameGenerator frames(frame_config, table_ptrs);
+
+  dataplane::FullRouterConfig router_config;
+  router_config.scheduler.vn_count = 3;
+  router_config.scheduler.port_count = 16;
+  router_config.scheduler.queue_capacity = 8;  // tight: provoke tail drops
+  pipeline::SeparateRouter lookup(views, 28);
+  return run_full_router(lookup, frames.generate(7), router_config);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace vr;
+  bench::handle_metrics_flag(argc, argv);
   core::FigureOptions base;
   std::string output = "BENCH_sweep.json";
   bool quick = false;
@@ -128,6 +167,7 @@ int main(int argc, char** argv) {
   const double speedup_cold = serial_ms / parallel_cold_ms;
   const double speedup_warm = serial_ms / parallel_warm_ms;
   const double mlps = batched_lookup_mlps(base);
+  const dataplane::FullRouterResult dataplane = dataplane_phase(quick);
 
   TextTable table("perf_sweep - full Figs. 5-8 regeneration, both grades" +
                   std::string(quick ? " (quick profile)" : ""));
@@ -147,7 +187,12 @@ int main(int argc, char** argv) {
             << "workload cache: " << cold_stats.hits << " hits / "
             << cold_stats.misses << " misses on the cold parallel run\n"
             << "flat SoA batched lookup: " << TextTable::num(mlps, 2)
-            << " Mlookups/s\n";
+            << " Mlookups/s\n"
+            << "dataplane phase: " << dataplane.scheduler.transmitted
+            << " transmitted / " << dataplane.scheduler.tail_drops
+            << " tail drops, p99 egress wait "
+            << TextTable::num(dataplane.egress_wait.quantile(0.99), 1)
+            << " cycles\n";
 
   std::ofstream json(output);
   json << "{\n"
@@ -171,7 +216,9 @@ int main(int argc, char** argv) {
        << ",\n"
        << "  \"cache_hits\": " << cold_stats.hits << ",\n"
        << "  \"cache_misses\": " << cold_stats.misses << ",\n"
-       << "  \"batched_lookup_mlps\": " << TextTable::num(mlps, 3) << "\n"
+       << "  \"batched_lookup_mlps\": " << TextTable::num(mlps, 3) << ",\n"
+       << "  \"metrics\": "
+       << obs::MetricsSink(obs::Registry::global()).json(2) << "\n"
        << "}\n";
   if (!json) {
     std::cerr << "error: could not write " << output << '\n';

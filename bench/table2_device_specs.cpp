@@ -4,8 +4,9 @@
 #include "bench_common.hpp"
 #include "fpga/bram.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vr;
+  bench::handle_metrics_flag(argc, argv);
   const fpga::DeviceSpec spec = fpga::DeviceSpec::xc6vlx760();
 
   TextTable table("Table II - " + spec.name + " device specs");

@@ -8,10 +8,11 @@
 #include "fpga/bram.hpp"
 #include "fpga/xpe_tables.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vr;
   using fpga::BramKind;
   using fpga::SpeedGrade;
+  bench::handle_metrics_flag(argc, argv);
 
   TextTable table("Table III - BRAM power model (uW at f MHz)");
   table.set_header({"setup", "model", "coefficient uW/MHz"});

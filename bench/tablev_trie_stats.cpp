@@ -8,8 +8,9 @@
 #include "trie/trie_stats.hpp"
 #include "trie/unibit_trie.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vr;
+  bench::handle_metrics_flag(argc, argv);
   const core::FigureBuilder builder(fpga::DeviceSpec::xc6vlx760(),
                                     bench::paper_options());
   bench::emit(builder.table_trie_stats());

@@ -50,6 +50,12 @@ void RunningStats::merge(const RunningStats& other) noexcept {
 Percentiles::Percentiles(std::vector<double> samples)
     : sorted_(std::move(samples)) {
   VR_REQUIRE(!sorted_.empty(), "percentile of an empty sample set");
+  // NaN violates std::sort's strict weak ordering: sorting a vector that
+  // contains one is undefined behaviour and in practice leaves the data
+  // partially ordered, so every later at() silently answers garbage.
+  for (const double sample : sorted_) {
+    VR_REQUIRE(!std::isnan(sample), "percentile sample is NaN");
+  }
   std::sort(sorted_.begin(), sorted_.end());
 }
 

@@ -4,6 +4,8 @@
 
 #include "common/units.hpp"
 #include "fpga/xpe_tables.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
 #include "trie/unibit_trie.hpp"
 
 namespace vr::core {
@@ -13,6 +15,12 @@ namespace {
 constexpr double kFreqStartMhz = 100.0;
 constexpr double kFreqStopMhz = 500.0;
 constexpr double kFreqStepMhz = 50.0;
+
+/// Wall time to build one figure, one labeled family member per figure.
+obs::Histogram& figure_timer(const char* figure) {
+  return obs::Registry::global().histogram("figures.build_ns",
+                                           {{"figure", figure}});
+}
 
 }  // namespace
 
@@ -49,6 +57,7 @@ Scenario FigureBuilder::sweep_scenario(power::Scheme scheme,
 }
 
 SeriesTable FigureBuilder::fig2_bram_power() const {
+  const obs::ScopedTimer timer(figure_timer("fig2"));
   SeriesTable table(
       "Fig. 2 - BRAM power vs operating frequency (single block, mW)",
       "freq_mhz",
@@ -70,6 +79,7 @@ SeriesTable FigureBuilder::fig2_bram_power() const {
 }
 
 SeriesTable FigureBuilder::fig3_logic_power() const {
+  const obs::ScopedTimer timer(figure_timer("fig3"));
   SeriesTable table(
       "Fig. 3 - per-stage logic+signal power vs frequency (mW)", "freq_mhz",
       {"stage(-2)", "stage(-1L)"});
@@ -87,6 +97,7 @@ SeriesTable FigureBuilder::fig3_logic_power() const {
 }
 
 FigureBuilder::Fig4 FigureBuilder::fig4_memory() const {
+  const obs::ScopedTimer timer(figure_timer("fig4"));
   const std::string hi = "merged(a=" +
                          TextTable::num(options_.alpha_high * 100.0, 0) +
                          "%)";
@@ -134,6 +145,7 @@ FigureBuilder::Fig4 FigureBuilder::fig4_memory() const {
 }
 
 SeriesTable FigureBuilder::fig5_total_power(fpga::SpeedGrade grade) const {
+  const obs::ScopedTimer timer(figure_timer("fig5"));
   SeriesTable table(
       std::string("Fig. 5 - total power vs #VNs, grade ") +
           fpga::to_string(grade) + " (W; model | experimental)",
@@ -168,6 +180,7 @@ SeriesTable FigureBuilder::fig5_total_power(fpga::SpeedGrade grade) const {
 
 SeriesTable FigureBuilder::fig6_virtualized_power(
     fpga::SpeedGrade grade) const {
+  const obs::ScopedTimer timer(figure_timer("fig6"));
   SeriesTable table(
       std::string("Fig. 6 - virtualized schemes total power vs #VNs, grade ") +
           fpga::to_string(grade) + " (W, experimental)",
@@ -197,6 +210,7 @@ SeriesTable FigureBuilder::fig6_virtualized_power(
 }
 
 SeriesTable FigureBuilder::fig7_model_error(fpga::SpeedGrade grade) const {
+  const obs::ScopedTimer timer(figure_timer("fig7"));
   SeriesTable table(
       std::string("Fig. 7 - model percentage error vs #VNs, grade ") +
           fpga::to_string(grade) + " (%)",
@@ -227,6 +241,7 @@ SeriesTable FigureBuilder::fig7_model_error(fpga::SpeedGrade grade) const {
 }
 
 SeriesTable FigureBuilder::fig8_efficiency(fpga::SpeedGrade grade) const {
+  const obs::ScopedTimer timer(figure_timer("fig8"));
   SeriesTable table(
       std::string("Fig. 8 - power per unit throughput vs #VNs, grade ") +
           fpga::to_string(grade) + " (mW/Gbps, experimental)",
@@ -257,6 +272,7 @@ SeriesTable FigureBuilder::fig8_efficiency(fpga::SpeedGrade grade) const {
 }
 
 TextTable FigureBuilder::table_trie_stats() const {
+  const obs::ScopedTimer timer(figure_timer("tablev"));
   TextTable table("Sec. V-E - representative routing table and trie");
   table.set_header({"quantity", "this repro", "paper"});
   const net::SyntheticTableGenerator gen(options_.table_profile);

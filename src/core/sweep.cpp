@@ -1,17 +1,34 @@
 #include "core/sweep.hpp"
 
+#include <atomic>
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
-#include <string>
+#include <string_view>
 
 namespace vr::core {
 
 std::size_t default_sweep_threads() {
   if (const char* env = std::getenv("VR_THREADS")) {
-    try {
-      const long parsed = std::stol(env);
-      if (parsed >= 1) return static_cast<std::size_t>(parsed);
-    } catch (...) {
-      // Malformed values fall through to hardware concurrency.
+    const std::string_view text(env);
+    long parsed = 0;
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), parsed);
+    // The whole value must parse ("8x" is not 8) and describe a usable
+    // pool ("0" and "-3" are not). Anything else falls through to the
+    // hardware concurrency — loudly, once, because a silently ignored
+    // VR_THREADS turns every benchmark comparison into noise.
+    if (ec == std::errc() && end == text.data() + text.size() &&
+        parsed >= 1) {
+      return static_cast<std::size_t>(parsed);
+    }
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "vrpower: ignoring invalid VR_THREADS=\"%s\" "
+                   "(expected a positive integer); using the hardware "
+                   "concurrency\n",
+                   env);
     }
   }
   const unsigned hw = std::thread::hardware_concurrency();

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <optional>
@@ -16,6 +18,9 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
 
 namespace vr::core {
 
@@ -55,20 +60,60 @@ class SweepRunner {
   }
 
  private:
+  /// Metrics of the sweep engine, registered once per process in the
+  /// global registry:
+  ///   sweep.tasks            tasks completed
+  ///   sweep.task_run_ns      per-task execution time
+  ///   sweep.task_wait_ns     queue wait (sweep start -> task claimed)
+  ///   sweep.workers          pool width of the most recent sweep
+  ///   sweep.workers_active   workers currently inside a task
+  ///   sweep.worker_utilization  busy fraction of each worker per sweep
+  struct Metrics {
+    obs::Counter& tasks;
+    obs::Histogram& task_run_ns;
+    obs::Histogram& task_wait_ns;
+    obs::Gauge& workers;
+    obs::Gauge& workers_active;
+    obs::Histogram& worker_utilization;
+
+    static const Metrics& get() {
+      static Metrics metrics = [] {
+        obs::Registry& reg = obs::Registry::global();
+        return Metrics{reg.counter("sweep.tasks"),
+                       reg.histogram("sweep.task_run_ns"),
+                       reg.histogram("sweep.task_wait_ns"),
+                       reg.gauge("sweep.workers"),
+                       reg.gauge("sweep.workers_active"),
+                       reg.histogram("sweep.worker_utilization")};
+      }();
+      return metrics;
+    }
+  };
+
   template <typename Fn>
   void run_indexed(std::size_t count, Fn&& fn) const {
+    using Clock = std::chrono::steady_clock;
     const std::size_t workers = std::min(threads_, count);
-    if (workers <= 1) {
-      for (std::size_t i = 0; i < count; ++i) fn(i);
-      return;
-    }
+    if (count == 0) return;
+    const Metrics& metrics = Metrics::get();
+    metrics.workers.set(static_cast<std::int64_t>(std::max<std::size_t>(
+        workers, 1)));
+    const Clock::time_point sweep_start = Clock::now();
     std::atomic<std::size_t> next{0};
     std::mutex error_mu;
     std::exception_ptr error;
+    // One body for the serial and the pooled path, so both feed the same
+    // metrics: claim a task, record its queue wait, time its run.
     const auto worker = [&] {
+      const Clock::time_point worker_start = Clock::now();
+      double busy_ns = 0.0;
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
+        if (i >= count) break;
+        metrics.task_wait_ns.observe_duration(obs::since(sweep_start));
+        const obs::TraceSpan span(metrics.task_run_ns,
+                                  metrics.workers_active);
+        const Clock::time_point task_start = Clock::now();
         try {
           fn(i);
         } catch (...) {
@@ -77,14 +122,24 @@ class SweepRunner {
             if (!error) error = std::current_exception();
           }
           next.store(count, std::memory_order_relaxed);  // drain the queue
-          return;
+          break;
         }
+        busy_ns += obs::since(task_start).value();
+        metrics.tasks.add(1);
+      }
+      const double wall_ns = obs::since(worker_start).value();
+      if (wall_ns > 0.0) {
+        metrics.worker_utilization.observe(busy_ns / wall_ns);
       }
     };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (std::thread& thread : pool) thread.join();
+    if (workers <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+      for (std::thread& thread : pool) thread.join();
+    }
     if (error) std::rethrow_exception(error);
   }
 

@@ -19,10 +19,21 @@
 // thread to request a key installs a promise and builds outside the lock;
 // concurrent requesters for the same key block on the future instead of
 // duplicating the build. Values are immutable shared_ptr<const Workload>.
+//
+// Budget: completed entries are kept on an LRU list and evicted
+// least-recently-used-first whenever the cache exceeds its byte or entry
+// budget, so a long multi-scenario sweep cannot grow the process
+// monotonically. In-flight builds are never evicted (their waiters hold
+// the shared_future), and eviction cannot break build-once deduplication
+// of concurrent requests — only completed entries leave. Observability:
+// hits/misses/evictions/build time/resident bytes are obs metrics; the
+// process-global cache registers them in obs::Registry::global() under
+// "workload_cache.*".
 #pragma once
 
 #include <cstdint>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,15 +41,27 @@
 
 #include "core/scenario.hpp"
 #include "core/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
 
 namespace vr::core {
 
 class WorkloadCache {
  public:
+  /// Point-in-time view of the cache counters (backed by the obs metrics).
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t resident_bytes = 0;  ///< approximate, completed entries
+    std::uint64_t entries = 0;         ///< completed entries resident
   };
+
+  /// A cache publishing into `registry` (nullptr = private standalone
+  /// metrics, the default for test-local caches). Only pass a registry one
+  /// cache will use — two caches sharing one registry would add into the
+  /// same counters.
+  explicit WorkloadCache(obs::Registry* registry = nullptr);
 
   /// Returns the realized workload for `scenario`, building it at most
   /// once per distinct key. Thread-safe.
@@ -47,6 +70,13 @@ class WorkloadCache {
 
   [[nodiscard]] Stats stats() const;
 
+  /// Caps the resident set: completed entries are LRU-evicted until both
+  /// budgets hold. Applied on every completed build (and immediately).
+  void set_budget(std::uint64_t max_resident_bytes, std::size_t max_entries);
+
+  [[nodiscard]] std::uint64_t max_resident_bytes() const;
+  [[nodiscard]] std::size_t max_entries() const;
+
   /// Drops all entries and resets the counters.
   void clear();
 
@@ -54,15 +84,50 @@ class WorkloadCache {
   [[nodiscard]] static std::string key(const Scenario& scenario,
                                        bool keep_tables);
 
+  /// Approximate heap footprint of one realized workload (the unit the
+  /// byte budget is accounted in; exposed for tests).
+  [[nodiscard]] static std::uint64_t approx_bytes(const Workload& workload);
+
   /// Process-wide cache shared by the figure builders and bench binaries.
   [[nodiscard]] static WorkloadCache& global();
 
  private:
   using Entry = std::shared_future<std::shared_ptr<const Workload>>;
 
+  struct Slot {
+    Entry future;
+    std::uint64_t bytes = 0;
+    bool ready = false;
+    /// Position in lru_ (valid only when ready).
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Marks a finished build resident and enforces the budget. Must be
+  /// called with mu_ held.
+  void complete_locked(const std::string& cache_key,
+                       const Workload& workload);
+  void enforce_budget_locked();
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  Stats stats_;
+  std::unordered_map<std::string, Slot> entries_;
+  /// Completed entries, most recently used first.
+  std::list<std::string> lru_;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t ready_entries_ = 0;
+  std::uint64_t max_resident_bytes_;
+  std::size_t max_entries_;
+
+  // Metric cells: own_* back a standalone cache; the pointers target the
+  // registry's cells when one was supplied.
+  obs::Counter own_hits_, own_misses_, own_evictions_;
+  obs::Histogram own_build_ns_;
+  obs::Gauge own_resident_bytes_gauge_, own_entries_gauge_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Histogram* build_ns_;
+  obs::Gauge* resident_bytes_gauge_;
+  obs::Gauge* entries_gauge_;
 };
 
 /// Realizes `scenario` via the process-global cache.

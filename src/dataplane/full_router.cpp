@@ -1,10 +1,40 @@
 #include "dataplane/full_router.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
+#include "obs/registry.hpp"
 
 namespace vr::dataplane {
+
+namespace {
+
+// Folds one end-to-end run into the process-wide registry ("dataplane.*")
+// so `--metrics` reports drop and latency behaviour across every run a
+// binary performed.
+void publish_run_metrics(const FullRouterResult& result) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("dataplane.parser_accepted").add(result.parser.accepted);
+  registry.counter("dataplane.parser_dropped").add(result.parser.dropped());
+  registry.counter("dataplane.editor_forwarded").add(result.editor.forwarded);
+  registry.counter("dataplane.editor_no_route").add(result.editor.no_route);
+  registry.counter("dataplane.editor_ttl_expired")
+      .add(result.editor.ttl_expired);
+  registry.counter("dataplane.enqueued").add(result.scheduler.enqueued);
+  registry.counter("dataplane.transmitted").add(result.scheduler.transmitted);
+  registry.counter("dataplane.tail_drops").add(result.scheduler.tail_drops);
+  registry.counter("dataplane.rejected").add(result.scheduler.rejected);
+  for (std::size_t vn = 0; vn < result.scheduler.bytes_per_vn.size(); ++vn) {
+    registry
+        .counter("dataplane.vn_bytes", {{"vn", std::to_string(vn)}})
+        .add(result.scheduler.bytes_per_vn[vn]);
+  }
+  registry.histogram("dataplane.queue_depth").merge(result.queue_depths);
+  registry.histogram("dataplane.egress_wait_cycles").merge(result.egress_wait);
+}
+
+}  // namespace
 
 std::vector<double> FullRouterResult::goodput_shares() const {
   std::vector<double> shares(scheduler.bytes_per_vn.size(), 0.0);
@@ -118,6 +148,9 @@ FullRouterResult run_full_router(pipeline::VirtualRouter& lookup,
   result.editor = editor.stats();
   result.scheduler = scheduler.stats();
   result.cycles = cycle;
+  result.queue_depths = scheduler.queue_depth_histogram();
+  result.egress_wait = scheduler.egress_wait_histogram();
+  publish_run_metrics(result);
   return result;
 }
 

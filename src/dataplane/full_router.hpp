@@ -13,6 +13,7 @@
 #include "dataplane/frame_gen.hpp"
 #include "dataplane/parser.hpp"
 #include "dataplane/scheduler.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/router.hpp"
 
 namespace vr::dataplane {
@@ -29,6 +30,10 @@ struct FullRouterResult {
   SchedulerStats scheduler;
   std::uint64_t cycles = 0;
   std::size_t max_lookup_queue = 0;
+  /// Per-queue depth distribution, sampled after every accepted enqueue.
+  obs::HistogramSnapshot queue_depths;
+  /// Egress queueing delay distribution (cycles enqueue -> transmit).
+  obs::HistogramSnapshot egress_wait;
 
   /// Goodput share per VN (fraction of total transmitted bytes).
   [[nodiscard]] std::vector<double> goodput_shares() const;

@@ -36,15 +36,21 @@ double DrrScheduler::quantum_for(net::VnId vn) const {
 bool DrrScheduler::enqueue(const ForwardedPacket& packet,
                            std::uint64_t cycle) {
   VR_REQUIRE(packet.vnid < config_.vn_count, "VNID out of range");
-  const std::size_t port_index = packet.port % config_.port_count;
-  auto& queue = ports_[port_index].queues[packet.vnid];
+  // An out-of-range port is a wiring bug (the lookup tables name more next
+  // hops than the scheduler has ports). Silently folding it with
+  // `% port_count` used to credit the traffic — and its DRR share — to an
+  // unrelated port, which no per-port statistic could ever surface.
+  VR_REQUIRE(packet.port < config_.port_count, "egress port out of range");
+  auto& queue = ports_[packet.port].queues[packet.vnid];
   if (queue.size() >= config_.queue_capacity) {
     ++stats_.tail_drops;
+    ++stats_.rejected;
     return false;
   }
   queue.push_back(QueuedPacket{
       cycle, packet.vnid, static_cast<std::uint32_t>(packet.total_bytes())});
   ++stats_.enqueued;
+  queue_depth_hist_.observe(static_cast<double>(queue.size()));
   return true;
 }
 
@@ -82,6 +88,8 @@ void DrrScheduler::tick(std::uint64_t cycle, std::vector<EgressRecord>* out) {
         port.byte_credit -= packet.bytes;
         ++stats_.transmitted;
         stats_.bytes_per_vn[packet.vnid] += packet.bytes;
+        egress_wait_hist_.observe(
+            static_cast<double>(cycle - packet.enqueue_cycle));
         out->push_back(EgressRecord{
             cycle, packet.vnid, static_cast<net::NextHop>(port_index),
             packet.bytes, cycle - packet.enqueue_cycle});

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dataplane/editor.hpp"
+#include "obs/metrics.hpp"
 
 namespace vr::dataplane {
 
@@ -43,6 +44,11 @@ struct SchedulerStats {
   std::uint64_t enqueued = 0;
   std::uint64_t transmitted = 0;
   std::uint64_t tail_drops = 0;
+  /// Packets enqueue() refused for any reason. Today every refusal is a
+  /// tail drop (out-of-range ports and VNIDs abort via VR_REQUIRE instead
+  /// of being silently remapped); future non-fatal admission checks count
+  /// here too, so "refused" has one total regardless of cause.
+  std::uint64_t rejected = 0;
   std::vector<std::uint64_t> bytes_per_vn;  ///< transmitted bytes by VN
 };
 
@@ -68,6 +74,17 @@ class DrrScheduler {
   [[nodiscard]] std::size_t queue_depth(std::size_t port,
                                         net::VnId vn) const;
 
+  /// Distribution of per-queue depth, sampled after every accepted
+  /// enqueue (packets, not bytes).
+  [[nodiscard]] obs::HistogramSnapshot queue_depth_histogram() const {
+    return queue_depth_hist_.snapshot();
+  }
+  /// Distribution of egress queueing delay (cycles from enqueue to
+  /// transmit), one sample per transmitted packet.
+  [[nodiscard]] obs::HistogramSnapshot egress_wait_histogram() const {
+    return egress_wait_hist_.snapshot();
+  }
+
  private:
   struct QueuedPacket {
     std::uint64_t enqueue_cycle = 0;
@@ -90,6 +107,8 @@ class DrrScheduler {
   SchedulerConfig config_;
   std::vector<PortState> ports_;
   SchedulerStats stats_;
+  obs::Histogram queue_depth_hist_;
+  obs::Histogram egress_wait_hist_;
 };
 
 }  // namespace vr::dataplane

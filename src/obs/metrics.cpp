@@ -1,0 +1,90 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vr::obs {
+
+namespace {
+
+/// Bucket of a non-negative sample: 0 for [0,1), i for [2^(i-1), 2^i).
+std::size_t bucket_of(double value) noexcept {
+  if (value < 1.0) return 0;
+  // 2^63 and above (including +inf) land in the last bucket.
+  if (value >= 9.223372036854775808e18) return kHistogramBuckets - 1;
+  const auto magnitude = static_cast<std::uint64_t>(value);
+  const auto index = static_cast<std::size_t>(std::bit_width(magnitude));
+  return std::min(index, kHistogramBuckets - 1);
+}
+
+/// Inclusive value range covered by a bucket.
+constexpr double bucket_lower(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0.0;
+  return static_cast<double>(std::uint64_t{1} << (bucket - 1));
+}
+
+constexpr double bucket_upper(std::size_t bucket) noexcept {
+  if (bucket >= kHistogramBuckets - 1) return bucket_lower(bucket) * 2.0;
+  return static_cast<double>(std::uint64_t{1} << bucket);
+}
+
+}  // namespace
+
+double HistogramSnapshot::quantile(double q) const {
+  VR_REQUIRE(q >= 0.0 && q <= 1.0, "quantile rank must be in [0,1]");
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q <= 0.0) return stats.min();
+  if (q >= 1.0) return stats.max();
+  // Target rank in [0, n-1]; walk buckets until it is covered, then
+  // interpolate linearly inside the covering bucket.
+  const double rank = q * static_cast<double>(n - 1);
+  double seen = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (in_bucket == 0.0) continue;
+    if (rank < seen + in_bucket) {
+      const double frac = (rank - seen) / in_bucket;
+      const double lo = std::max(bucket_lower(b), stats.min());
+      const double hi = std::min(bucket_upper(b), stats.max());
+      return std::clamp(lo + (hi - lo) * frac, stats.min(), stats.max());
+    }
+    seen += in_bucket;
+  }
+  return stats.max();
+}
+
+void Histogram::observe(double value) {
+  VR_REQUIRE(!std::isnan(value), "histogram sample is NaN");
+  VR_REQUIRE(value >= 0.0, "histogram sample is negative");
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_.add(value);
+  ++buckets_[bucket_of(value)];
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.stats = stats_;
+  snap.buckets = buckets_;
+  return snap;
+}
+
+void Histogram::merge(const HistogramSnapshot& other) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_.merge(other.stats);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets[b];
+  }
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_ = RunningStats{};
+  buckets_.fill(0);
+}
+
+}  // namespace vr::obs

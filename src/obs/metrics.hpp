@@ -1,0 +1,106 @@
+// Metric primitives of the observability layer: Counter and Gauge are
+// lock-free std::atomic cells; Histogram combines RunningStats (exact
+// count/mean/variance/min/max via Welford) with base-2 exponential buckets
+// for approximate quantiles in O(1) memory. All three are safe to update
+// from many threads concurrently and are deliberately zero-dependency —
+// nothing here knows about registries, names, or serialization, so the
+// primitives can also be embedded directly in a component (the
+// DrrScheduler's queue-depth histogram, the WorkloadCache counters) and
+// published later.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace vr::obs {
+
+/// Monotonically increasing event count. Lock-free; relaxed ordering is
+/// sufficient because counters carry no synchronization semantics.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written signed level (queue depths, resident bytes, worker counts).
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Bucket count of Histogram: bucket 0 covers [0, 1), bucket i >= 1 covers
+/// [2^(i-1), 2^i), and the last bucket absorbs everything above.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// A point-in-time copy of a Histogram: exact summary statistics plus the
+/// bucket counts the quantile estimator interpolates over. Plain data —
+/// safe to copy into result structs (FullRouterResult) and to merge.
+struct HistogramSnapshot {
+  RunningStats stats;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return static_cast<std::uint64_t>(stats.count());
+  }
+
+  /// Approximate q-quantile (q in [0,1]) by linear interpolation inside
+  /// the bucket holding the target rank, clamped to the exact observed
+  /// [min, max]. Exact for q = 0 and q = 1; empty histograms answer 0.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// Thread-safe sample accumulator for durations, depths, sizes — any
+/// non-negative quantity whose distribution (not just total) matters.
+/// Rejects NaN and negative samples via VR_REQUIRE: a poisoned histogram
+/// would silently corrupt every percentile derived from it.
+class Histogram {
+ public:
+  void observe(double value);
+
+  /// Typed entry point for timers: durations always enter in nanoseconds.
+  void observe_duration(units::Nanoseconds elapsed) {
+    observe(elapsed.value());
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Folds another histogram's snapshot into this one (bucket-wise add +
+  /// RunningStats::merge). Used to publish component-owned histograms into
+  /// the process-wide registry.
+  void merge(const HistogramSnapshot& other);
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats stats_;
+  std::array<std::uint64_t, kHistogramBuckets> buckets_{};
+};
+
+}  // namespace vr::obs

@@ -1,0 +1,182 @@
+#include "obs/sink.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace vr::obs {
+
+namespace {
+
+/// Shortest decimal form that round-trips exactly through strtod.
+std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  // Prefer the shortest of %.15g / %.16g / %.17g that still round-trips:
+  // most metric values come out clean ("1.5", "42") instead of 17-digit
+  // noise, without ever losing a bit.
+  for (const int precision : {15, 16}) {
+    char candidate[40];
+    std::snprintf(candidate, sizeof candidate, "%.*g", precision, value);
+    if (std::strtod(candidate, nullptr) == value) return candidate;
+  }
+  return buffer;
+}
+
+std::string escape_json(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void MetricsSink::write_json(std::ostream& os, int indent) const {
+  const std::string base(static_cast<std::size_t>(indent < 0 ? 0 : indent),
+                         ' ');
+  const auto pad = [&](int level) {
+    return base + std::string(static_cast<std::size_t>(2 * level), ' ');
+  };
+  const std::vector<Registry::Snapshot> metrics = registry_->snapshot();
+  os << "{\n" << pad(1) << "\"metrics\": [";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const Registry::Snapshot& m = metrics[i];
+    os << (i == 0 ? "\n" : ",\n") << pad(2) << "{\n";
+    os << pad(3) << "\"name\": \"" << escape_json(m.name) << "\",\n";
+    if (!m.labels.empty()) {
+      os << pad(3) << "\"labels\": {";
+      for (std::size_t l = 0; l < m.labels.size(); ++l) {
+        os << (l == 0 ? "" : ", ") << '"' << escape_json(m.labels[l].first)
+           << "\": \"" << escape_json(m.labels[l].second) << '"';
+      }
+      os << "},\n";
+    }
+    os << pad(3) << "\"type\": \"" << kind_name(m.kind) << "\",\n";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << pad(3) << "\"value\": " << m.counter << '\n';
+        break;
+      case MetricKind::kGauge:
+        os << pad(3) << "\"value\": " << m.gauge << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = m.histogram;
+        os << pad(3) << "\"count\": " << h.count() << ",\n";
+        os << pad(3) << "\"sum\": " << format_double(h.stats.sum()) << ",\n";
+        os << pad(3) << "\"min\": "
+           << format_double(h.count() == 0 ? 0.0 : h.stats.min()) << ",\n";
+        os << pad(3) << "\"max\": "
+           << format_double(h.count() == 0 ? 0.0 : h.stats.max()) << ",\n";
+        os << pad(3) << "\"mean\": " << format_double(h.stats.mean())
+           << ",\n";
+        os << pad(3) << "\"stddev\": " << format_double(h.stats.stddev())
+           << ",\n";
+        os << pad(3) << "\"p50\": " << format_double(h.quantile(0.50))
+           << ",\n";
+        os << pad(3) << "\"p90\": " << format_double(h.quantile(0.90))
+           << ",\n";
+        os << pad(3) << "\"p99\": " << format_double(h.quantile(0.99))
+           << '\n';
+        break;
+      }
+    }
+    os << pad(2) << '}';
+  }
+  if (!metrics.empty()) os << '\n' << pad(1);
+  os << "]\n" << base << '}';
+}
+
+std::string MetricsSink::json(int indent) const {
+  std::ostringstream os;
+  write_json(os, indent);
+  return os.str();
+}
+
+bool MetricsSink::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
+TextTable MetricsSink::table() const {
+  TextTable table("metrics");
+  table.set_header({"metric", "labels", "type", "count/value", "mean",
+                    "p50", "p99", "max"});
+  for (const Registry::Snapshot& m : registry_->snapshot()) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        table.add_row({m.name, render_labels(m.labels), "counter",
+                       std::to_string(m.counter), "-", "-", "-", "-"});
+        break;
+      case MetricKind::kGauge:
+        table.add_row({m.name, render_labels(m.labels), "gauge",
+                       std::to_string(m.gauge), "-", "-", "-", "-"});
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = m.histogram;
+        table.add_row(
+            {m.name, render_labels(m.labels), "histogram",
+             std::to_string(h.count()), TextTable::num(h.stats.mean(), 3),
+             TextTable::num(h.quantile(0.50), 3),
+             TextTable::num(h.quantile(0.99), 3),
+             TextTable::num(h.count() == 0 ? 0.0 : h.stats.max(), 3)});
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace vr::obs

@@ -1,0 +1,37 @@
+// MetricsSink — serializes a Registry snapshot for humans and machines:
+// deterministic JSON (stable metric order, %.17g doubles that round-trip
+// exactly through strtod) and an aligned TextTable via common/table. The
+// bench binaries dump the JSON form with --metrics[=path.json];
+// bench/perf_sweep embeds it in BENCH_sweep.json.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/table.hpp"
+#include "obs/registry.hpp"
+
+namespace vr::obs {
+
+class MetricsSink {
+ public:
+  explicit MetricsSink(const Registry& registry) : registry_(&registry) {}
+
+  /// Writes the registry as a JSON object. `indent` spaces prefix every
+  /// line after the first, so the object can be embedded inside another
+  /// JSON document at that depth.
+  void write_json(std::ostream& os, int indent = 0) const;
+
+  [[nodiscard]] std::string json(int indent = 0) const;
+
+  /// Writes the JSON document to `path`. Returns false on I/O failure.
+  [[nodiscard]] bool write_json_file(const std::string& path) const;
+
+  /// Human-readable summary table (one row per metric).
+  [[nodiscard]] TextTable table() const;
+
+ private:
+  const Registry* registry_;
+};
+
+}  // namespace vr::obs

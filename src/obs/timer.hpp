@@ -1,0 +1,69 @@
+// RAII timing: ScopedTimer records one steady-clock duration into a
+// Histogram on destruction (or an explicit stop()); TraceSpan additionally
+// tracks how many spans of a region are simultaneously open. steady_clock
+// is monotonic, so recorded durations are never negative — the obs tests
+// pin that invariant without asserting on wall-clock magnitudes.
+#pragma once
+
+#include <chrono>
+
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace vr::obs {
+
+/// Monotonic nanoseconds elapsed since `start`.
+[[nodiscard]] inline units::Nanoseconds since(
+    std::chrono::steady_clock::time_point start) {
+  return units::Nanoseconds{
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - start)
+          .count()};
+}
+
+/// Times a scope into a Histogram of nanoseconds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink)
+      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { (void)stop(); }
+
+  /// Records the elapsed duration exactly once and returns it; later calls
+  /// (including the destructor's) record nothing and return zero.
+  units::Nanoseconds stop() {
+    if (stopped_) return units::Nanoseconds{0.0};
+    stopped_ = true;
+    const units::Nanoseconds elapsed = since(start_);
+    sink_->observe_duration(elapsed);
+    return elapsed;
+  }
+
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+/// A trace span: times the region like ScopedTimer and keeps `active`
+/// incremented while the span is open, so a gauge shows instantaneous
+/// concurrency (e.g. busy sweep workers).
+class TraceSpan {
+ public:
+  TraceSpan(Histogram& latency, Gauge& active)
+      : timer_(latency), active_(&active) {
+    active_->add(1);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { active_->add(-1); }
+
+ private:
+  ScopedTimer timer_;
+  Gauge* active_;
+};
+
+}  // namespace vr::obs

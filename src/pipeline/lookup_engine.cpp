@@ -38,7 +38,10 @@ bool LookupEngine::offer(const net::Packet& packet) {
   // Validate before looking at the input slot so malformed packets are
   // rejected even when the engine is busy.
   VR_REQUIRE(packet.vnid < trie_.vn_count(), "packet VNID out of range");
-  if (input_.has_value()) return false;
+  if (input_.has_value()) {
+    ++counters_.offers_rejected;
+    return false;
+  }
   input_ = packet;
   ++counters_.packets_in;
   return true;

@@ -35,6 +35,9 @@ struct ActivityCounters {
   std::uint64_t cycles = 0;          ///< cycles simulated
   std::uint64_t packets_in = 0;
   std::uint64_t packets_out = 0;
+  /// offer() calls refused because the input slot was occupied — the
+  /// engine's backpressure signal (the caller must retry next cycle).
+  std::uint64_t offers_rejected = 0;
   /// Cycles in which stage s held a valid packet (its registers clocked).
   std::vector<std::uint64_t> stage_busy;
   /// Cycles in which stage s performed a memory read.

@@ -3,8 +3,44 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/registry.hpp"
 
 namespace vr::pipeline {
+
+namespace {
+
+// One trace-driven simulation's activity, folded into the process-wide
+// registry so `--metrics` sees pipeline behaviour without threading a
+// registry through every figure builder.
+void publish_trace_metrics(const VirtualRouter& router,
+                           const SimulationResult& sim) {
+  obs::Registry& registry = obs::Registry::global();
+  std::uint64_t packets_in = 0;
+  std::uint64_t packets_out = 0;
+  std::uint64_t offers_rejected = 0;
+  obs::Histogram& occupancy = registry.histogram("pipeline.stage_occupancy");
+  for (std::size_t e = 0; e < router.engine_count(); ++e) {
+    const ActivityCounters& activity = router.engine(e).activity();
+    packets_in += activity.packets_in;
+    packets_out += activity.packets_out;
+    offers_rejected += activity.offers_rejected;
+    if (activity.cycles == 0) continue;
+    for (const std::uint64_t busy : activity.stage_busy) {
+      occupancy.observe(static_cast<double>(busy) /
+                        static_cast<double>(activity.cycles));
+    }
+  }
+  registry.counter("pipeline.packets_in").add(packets_in);
+  registry.counter("pipeline.packets_out").add(packets_out);
+  registry.counter("pipeline.offers_rejected").add(offers_rejected);
+  for (const double mu : sim.engine_utilization) {
+    registry.histogram("pipeline.engine_utilization").observe(mu);
+  }
+  registry.histogram("pipeline.max_queue_depth")
+      .observe(static_cast<double>(sim.max_queue_depth));
+}
+
+}  // namespace
 
 SeparateRouter::SeparateRouter(std::vector<TrieView> tries,
                                std::size_t stage_count) {
@@ -93,6 +129,7 @@ SimulationResult run_trace(VirtualRouter& router,
     sim.engine_utilization.push_back(
         router.engine(e).activity().mean_stage_utilization());
   }
+  publish_trace_metrics(router, sim);
   return sim;
 }
 

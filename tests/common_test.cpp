@@ -239,6 +239,28 @@ TEST(PercentilesTest, SingleSample) {
   EXPECT_DOUBLE_EQ(percentile({42.0}, 0.9), 42.0);
 }
 
+TEST(PercentilesTest, SingleSampleAtEveryRank) {
+  const Percentiles p({7.5});
+  EXPECT_DOUBLE_EQ(p.at(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(p.at(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(p.at(1.0), 7.5);
+}
+
+TEST(PercentilesTest, ExactBoundaryRanksHitMinAndMax) {
+  // q = 0 and q = 1 must land exactly on the extremes (no interpolation
+  // round-off), including with unsorted input and duplicates.
+  const Percentiles p({9.0, -3.0, 4.0, 4.0, 12.0});
+  EXPECT_DOUBLE_EQ(p.at(0.0), -3.0);
+  EXPECT_DOUBLE_EQ(p.at(1.0), 12.0);
+}
+
+TEST(PercentilesTest, NanSampleAborts) {
+  // A NaN breaks std::sort's strict weak ordering (UB); the constructor
+  // must refuse rather than silently produce garbage quantiles.
+  EXPECT_DEATH(Percentiles({1.0, std::nan(""), 2.0}),
+               "percentile sample is NaN");
+}
+
 TEST(StatsTest, RelativeDifference) {
   EXPECT_DOUBLE_EQ(relative_difference(1.0, 1.0), 0.0);
   EXPECT_NEAR(relative_difference(1.0, 1.1), 0.1 / 1.1, 1e-12);

@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "dataplane/full_router.hpp"
 #include "netbase/packet.hpp"
+#include "obs/metrics.hpp"
 #include "netbase/table_gen.hpp"
 #include "trie/unibit_trie.hpp"
 
@@ -280,6 +281,53 @@ TEST(SchedulerTest, PacketsRouteToTheirPort) {
   EXPECT_EQ(egress[0].port, 2);
 }
 
+TEST(SchedulerTest, OutOfRangePortAborts) {
+  // Regression: enqueue used to alias port % port_count, silently crediting
+  // a wiring bug's traffic (and DRR share) to an unrelated port.
+  SchedulerConfig config;
+  config.port_count = 4;
+  config.vn_count = 1;
+  DrrScheduler scheduler(config);
+  EXPECT_DEATH((void)scheduler.enqueue(make_packet(0, 20, 4), 0),
+               "egress port out of range");
+  EXPECT_DEATH((void)scheduler.enqueue(make_packet(0, 20, 200), 0),
+               "egress port out of range");
+}
+
+TEST(SchedulerTest, RejectedCountsTailDrops) {
+  SchedulerConfig config = two_vn_config();
+  config.queue_capacity = 4;
+  DrrScheduler scheduler(config);
+  for (int i = 0; i < 10; ++i) {
+    scheduler.enqueue(make_packet(0, 20), 0);
+  }
+  EXPECT_EQ(scheduler.stats().tail_drops, 6u);
+  EXPECT_EQ(scheduler.stats().rejected, 6u);
+}
+
+TEST(SchedulerTest, HistogramsTrackDepthAndWait) {
+  DrrScheduler scheduler(two_vn_config());
+  std::vector<EgressRecord> egress;
+  for (int i = 0; i < 3; ++i) {
+    scheduler.enqueue(make_packet(0, 20), 0);
+  }
+  for (std::uint64_t c = 0; c < 10 && !scheduler.empty(); ++c) {
+    scheduler.tick(c, &egress);
+  }
+  // Depths observed after each accepted enqueue: 1, 2, 3.
+  const obs::HistogramSnapshot depth = scheduler.queue_depth_histogram();
+  EXPECT_EQ(depth.count(), 3u);
+  EXPECT_DOUBLE_EQ(depth.stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(depth.stats.max(), 3.0);
+  // One wait sample per transmitted packet, bounded by the records.
+  const obs::HistogramSnapshot wait = scheduler.egress_wait_histogram();
+  ASSERT_EQ(wait.count(), egress.size());
+  for (const EgressRecord& record : egress) {
+    EXPECT_LE(wait.stats.min(), static_cast<double>(record.queueing_cycles));
+    EXPECT_GE(wait.stats.max(), static_cast<double>(record.queueing_cycles));
+  }
+}
+
 // ------------------------------------------------------------- frame gen --
 
 class FrameGenFixture : public ::testing::Test {
@@ -375,6 +423,10 @@ TEST_F(FullRouterFixture, ConservesPackets) {
   EXPECT_GT(result.parser.dropped(), 0u);      // corruption present
   EXPECT_EQ(result.editor.no_route, 0u);       // all lookups hit
   EXPECT_EQ(result.egress.size(), result.scheduler.transmitted);
+  // The observability snapshots agree with the counters: one depth sample
+  // per accepted enqueue, one wait sample per transmitted packet.
+  EXPECT_EQ(result.queue_depths.count(), result.scheduler.enqueued);
+  EXPECT_EQ(result.egress_wait.count(), result.scheduler.transmitted);
 }
 
 TEST_F(FullRouterFixture, EgressTtlDecrementedAndChecksumsValid) {

@@ -1,0 +1,312 @@
+// Observability layer: concurrency-exact counters, histogram quantiles and
+// merging, registry identity/ordering semantics, JSON sink round-trips and
+// RAII timers. The timing tests assert only monotonicity (elapsed >= 0,
+// records exactly once) — never wall-clock magnitudes, which would flake.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+#include "obs/sink.hpp"
+#include "obs/timer.hpp"
+
+namespace vr::obs {
+namespace {
+
+// ---------------------------------------------------------------- counter --
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20000;
+  const core::SweepRunner runner(kThreads);
+  runner.for_each(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) counter.add(1);
+  });
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndReset) {
+  Gauge gauge;
+  gauge.set(7);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.add(-10);
+  EXPECT_EQ(gauge.value(), -3);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(GaugeTest, ConcurrentDeltasBalanceOut) {
+  Gauge gauge;
+  const core::SweepRunner runner(8);
+  runner.for_each(8, [&](std::size_t) {
+    for (int i = 0; i < 5000; ++i) {
+      gauge.add(3);
+      gauge.add(-3);
+    }
+  });
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+// -------------------------------------------------------------- histogram --
+
+TEST(HistogramTest, SummaryStatsAreExact) {
+  Histogram hist;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) hist.observe(v);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count(), 4u);
+  EXPECT_DOUBLE_EQ(snap.stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(snap.stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.stats.max(), 4.0);
+  EXPECT_DOUBLE_EQ(snap.stats.sum(), 10.0);
+}
+
+TEST(HistogramTest, QuantileBoundariesAreExact) {
+  Histogram hist;
+  for (int v = 1; v <= 100; ++v) hist.observe(static_cast<double>(v));
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 100.0);
+  // Interior quantiles are approximate (log2 buckets) but must stay inside
+  // the observed range and be monotone in q.
+  double last = snap.quantile(0.0);
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double value = snap.quantile(q);
+    EXPECT_GE(value, last);
+    EXPECT_LE(value, 100.0);
+    last = value;
+  }
+  // The median of 1..100 lands near 50 even through bucket interpolation.
+  EXPECT_NEAR(snap.quantile(0.5), 50.0, 16.0);
+}
+
+TEST(HistogramTest, EmptySnapshotAnswersZero) {
+  const HistogramSnapshot snap = Histogram().snapshot();
+  EXPECT_EQ(snap.count(), 0u);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedObservation) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  for (int v = 0; v < 50; ++v) {
+    a.observe(static_cast<double>(v));
+    combined.observe(static_cast<double>(v));
+  }
+  for (int v = 50; v < 90; ++v) {
+    b.observe(static_cast<double>(v));
+    combined.observe(static_cast<double>(v));
+  }
+  a.merge(b.snapshot());
+  const HistogramSnapshot merged = a.snapshot();
+  const HistogramSnapshot direct = combined.snapshot();
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_DOUBLE_EQ(merged.stats.mean(), direct.stats.mean());
+  EXPECT_DOUBLE_EQ(merged.stats.min(), direct.stats.min());
+  EXPECT_DOUBLE_EQ(merged.stats.max(), direct.stats.max());
+  EXPECT_EQ(merged.buckets, direct.buckets);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.5), direct.quantile(0.5));
+}
+
+TEST(HistogramTest, ConcurrentObservationsAllLand) {
+  Histogram hist;
+  const core::SweepRunner runner(8);
+  runner.for_each(8, [&](std::size_t t) {
+    for (int i = 0; i < 2000; ++i) {
+      hist.observe(static_cast<double>(t + 1));
+    }
+  });
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count(), 16000u);
+  EXPECT_DOUBLE_EQ(snap.stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.stats.max(), 8.0);
+}
+
+TEST(HistogramTest, RejectsNanAndNegative) {
+  Histogram hist;
+  EXPECT_DEATH(hist.observe(std::nan("")), "histogram sample is NaN");
+  EXPECT_DEATH(hist.observe(-1.0), "histogram sample is negative");
+}
+
+// --------------------------------------------------------------- registry --
+
+TEST(RegistryTest, SameNameAndLabelsReturnsSameCell) {
+  Registry registry;
+  Counter& a = registry.counter("test.hits");
+  Counter& b = registry.counter("test.hits");
+  EXPECT_EQ(&a, &b);
+  Counter& labeled = registry.counter("test.hits", {{"vn", "1"}});
+  EXPECT_NE(&a, &labeled);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(RegistryTest, LabelOrderDoesNotDistinguishMetrics) {
+  Registry registry;
+  Counter& ab = registry.counter("test.multi", {{"a", "1"}, {"b", "2"}});
+  Counter& ba = registry.counter("test.multi", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&ab, &ba);
+}
+
+TEST(RegistryTest, KindMismatchAborts) {
+  Registry registry;
+  registry.counter("test.value");
+  EXPECT_DEATH(registry.gauge("test.value"),
+               "re-registered with a different kind");
+}
+
+TEST(RegistryTest, EmptyNameAborts) {
+  Registry registry;
+  EXPECT_DEATH(registry.counter(""), "metric name must not be empty");
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndComplete) {
+  Registry registry;
+  registry.counter("z.last").add(3);
+  registry.gauge("a.first").set(-5);
+  registry.histogram("m.middle").observe(2.0);
+  const std::vector<Registry::Snapshot> snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "a.first");
+  EXPECT_EQ(snaps[0].gauge, -5);
+  EXPECT_EQ(snaps[1].name, "m.middle");
+  EXPECT_EQ(snaps[1].histogram.count(), 1u);
+  EXPECT_EQ(snaps[2].name, "z.last");
+  EXPECT_EQ(snaps[2].counter, 3u);
+}
+
+TEST(RegistryTest, ResetZeroesValuesButKeepsReferences) {
+  Registry registry;
+  Counter& counter = registry.counter("test.n");
+  counter.add(41);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(&registry.counter("test.n"), &counter);
+  counter.add(1);
+  EXPECT_EQ(registry.snapshot().front().counter, 1u);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationIsSafe) {
+  Registry registry;
+  const core::SweepRunner runner(8);
+  runner.for_each(64, [&](std::size_t i) {
+    registry.counter("test.shared").add(1);
+    registry.counter("test.mod", {{"k", std::to_string(i % 4)}}).add(1);
+  });
+  EXPECT_EQ(registry.counter("test.shared").value(), 64u);
+  EXPECT_EQ(registry.size(), 5u);
+}
+
+// ------------------------------------------------------------------- sink --
+
+TEST(SinkTest, JsonSerializesCountersGaugesHistograms) {
+  Registry registry;
+  registry.counter("c.events", {{"vn", "0"}}).add(12);
+  registry.gauge("g.level").set(-4);
+  Histogram& hist = registry.histogram("h.depth");
+  hist.observe(1.0);
+  hist.observe(3.0);
+  const std::string json = MetricsSink(registry).json();
+  EXPECT_NE(json.find("\"name\": \"c.events\""), std::string::npos);
+  EXPECT_NE(json.find("\"vn\": \"0\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": -4"), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": 2"), std::string::npos);
+}
+
+TEST(SinkTest, JsonDoublesRoundTripThroughStrtod) {
+  Registry registry;
+  Histogram& hist = registry.histogram("h.values");
+  const double exact = 0.1 + 0.2;  // not representable in short decimal
+  hist.observe(exact);
+  const std::string json = MetricsSink(registry).json();
+  const std::string needle = "\"mean\": ";
+  const std::size_t at = json.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  const double parsed =
+      std::strtod(json.c_str() + at + needle.size(), nullptr);
+  EXPECT_EQ(parsed, exact);  // bit-exact, not just close
+}
+
+TEST(SinkTest, JsonEscapesLabelValues) {
+  Registry registry;
+  registry.counter("c.weird", {{"path", "a\"b\\c\n"}}).add(1);
+  const std::string json = MetricsSink(registry).json();
+  EXPECT_NE(json.find("a\\\"b\\\\c\\n"), std::string::npos);
+}
+
+TEST(SinkTest, IndentPrefixesEveryLineAfterTheFirst) {
+  Registry registry;
+  registry.counter("c.n").add(1);
+  std::istringstream lines(MetricsSink(registry).json(2));
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "{");  // first line carries no prefix (embed in place)
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.substr(0, 2), "  ") << "line not indented: " << line;
+  }
+}
+
+TEST(SinkTest, TableListsEveryMetric) {
+  Registry registry;
+  registry.counter("c.events").add(2);
+  registry.histogram("h.ns").observe(5.0);
+  std::ostringstream os;
+  MetricsSink(registry).table().render(os);
+  EXPECT_NE(os.str().find("c.events"), std::string::npos);
+  EXPECT_NE(os.str().find("h.ns"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ timer --
+
+TEST(ScopedTimerTest, RecordsExactlyOnceAndNonNegative) {
+  Histogram hist;
+  {
+    ScopedTimer timer(hist);
+    const units::Nanoseconds elapsed = timer.stop();
+    EXPECT_GE(elapsed.value(), 0.0);
+    EXPECT_TRUE(timer.stopped());
+    // Second stop and the destructor must both be no-ops.
+    EXPECT_DOUBLE_EQ(timer.stop().value(), 0.0);
+  }
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count(), 1u);
+  EXPECT_GE(snap.stats.min(), 0.0);
+}
+
+TEST(ScopedTimerTest, DestructorRecords) {
+  Histogram hist;
+  { const ScopedTimer timer(hist); }
+  EXPECT_EQ(hist.snapshot().count(), 1u);
+}
+
+TEST(TraceSpanTest, GaugeTracksOpenSpans) {
+  Histogram hist;
+  Gauge active;
+  {
+    const TraceSpan outer(hist, active);
+    EXPECT_EQ(active.value(), 1);
+    {
+      const TraceSpan inner(hist, active);
+      EXPECT_EQ(active.value(), 2);
+    }
+    EXPECT_EQ(active.value(), 1);
+  }
+  EXPECT_EQ(active.value(), 0);
+  EXPECT_EQ(hist.snapshot().count(), 2u);
+}
+
+}  // namespace
+}  // namespace vr::obs

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -62,6 +63,30 @@ TEST(SweepRunnerTest, ThreadCountIsAtLeastOne) {
   EXPECT_EQ(SweepRunner(1).thread_count(), 1u);
   EXPECT_EQ(SweepRunner(6).thread_count(), 6u);
   EXPECT_GE(default_sweep_threads(), 1u);
+}
+
+TEST(SweepRunnerTest, VrThreadsEnvIsParsedStrictly) {
+  const auto with_env = [](const char* value) {
+    if (value == nullptr) {
+      unsetenv("VR_THREADS");
+    } else {
+      setenv("VR_THREADS", value, 1);
+    }
+    return default_sweep_threads();
+  };
+  const std::size_t fallback = with_env(nullptr);
+  EXPECT_GE(fallback, 1u);
+  EXPECT_EQ(with_env("8"), 8u);
+  EXPECT_EQ(with_env("3"), 3u);
+  // Regression: the old std::stol parse read "8x" as 8 and silently
+  // ignored non-positive values. Anything but a full positive integer is
+  // now rejected (with a one-time stderr warning) and falls back.
+  EXPECT_EQ(with_env("8x"), fallback);
+  EXPECT_EQ(with_env("0"), fallback);
+  EXPECT_EQ(with_env("-3"), fallback);
+  EXPECT_EQ(with_env(""), fallback);
+  EXPECT_EQ(with_env(" 4"), fallback);
+  unsetenv("VR_THREADS");
 }
 
 // ---------------------------------------------------------- WorkloadCache --
@@ -154,6 +179,74 @@ TEST(WorkloadCacheTest, ConcurrentRealizeBuildsOnce) {
   }
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().hits, 15u);
+}
+
+// ------------------------------------------------------- cache LRU budget --
+
+Scenario seeded_scenario(std::uint64_t seed) {
+  Scenario s = small_scenario();
+  s.seed = seed;
+  return s;
+}
+
+TEST(WorkloadCacheTest, EntryBudgetEvictsLeastRecentlyUsed) {
+  WorkloadCache cache;
+  cache.set_budget(std::uint64_t{1} << 40, 2);
+  const std::shared_ptr<const Workload> a = cache.realize(seeded_scenario(1));
+  (void)cache.realize(seeded_scenario(2));
+  (void)cache.realize(seeded_scenario(1));  // touch: 2 is now least recent
+  (void)cache.realize(seeded_scenario(3));  // over budget: evicts 2
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().entries, 2u);
+
+  // The touched entry survived...
+  const std::uint64_t hits_before = cache.stats().hits;
+  const std::shared_ptr<const Workload> a2 =
+      cache.realize(seeded_scenario(1));
+  EXPECT_EQ(a2.get(), a.get());
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+
+  // ...and the evicted one rebuilds on the next request.
+  const std::uint64_t misses_before = cache.stats().misses;
+  (void)cache.realize(seeded_scenario(2));
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(WorkloadCacheTest, ByteBudgetKeepsResidentSetBounded) {
+  WorkloadCache cache;
+  const std::shared_ptr<const Workload> first =
+      cache.realize(seeded_scenario(10));
+  const std::uint64_t one = WorkloadCache::approx_bytes(*first);
+  ASSERT_GT(one, 0u);
+  const std::uint64_t budget = one + one / 2;  // room for ~1.5 workloads
+  cache.set_budget(budget, 1000);
+  for (std::uint64_t seed = 11; seed < 16; ++seed) {
+    (void)cache.realize(seeded_scenario(seed));
+    EXPECT_LE(cache.stats().resident_bytes, budget);
+  }
+  EXPECT_GE(cache.stats().evictions, 4u);
+  EXPECT_GE(cache.stats().entries, 1u);  // newest entry stays resident
+}
+
+TEST(WorkloadCacheTest, TightBudgetStillDeduplicatesConcurrentBuilds) {
+  WorkloadCache cache;
+  cache.set_budget(std::uint64_t{1} << 40, 1);
+  const Scenario s = seeded_scenario(20);
+  const SweepRunner runner(8);
+  const std::vector<const Workload*> ptrs =
+      runner.map(16, [&](std::size_t) -> const Workload* {
+        return cache.realize(s).get();
+      });
+  for (const Workload* p : ptrs) {
+    EXPECT_EQ(p, ptrs.front());
+  }
+  // Build-once held even though only one entry may stay resident.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 15u);
+  // A second key forces the eviction of the only resident entry.
+  (void)cache.realize(seeded_scenario(21));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().entries, 1u);
 }
 
 // ------------------------------------------------- sweep determinism e2e --

@@ -36,11 +36,12 @@ import re
 import sys
 
 # Layers whose headers must use units:: quantity types end-to-end.
-TYPED_DIRS = {"power", "core", "fpga", "pipeline", "multipipe", "tcam"}
+TYPED_DIRS = {"power", "core", "fpga", "pipeline", "multipipe", "tcam", "obs"}
 
 # Concepts that imply a physical dimension when they appear in a name.
 DIMENSIONED = re.compile(
-    r"(?:^|_)(power|freq|frequency|energy|watt|watts|throughput)(?:_|$)|"
+    r"(?:^|_)(power|freq|frequency|energy|watt|watts|throughput|"
+    r"duration|latency|elapsed)(?:_|$)|"
     r"_(w|mw|uw|mhz|ghz|pj|gbps|mbps|bits|kbits|joules)$"
 )
 
