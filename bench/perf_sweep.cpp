@@ -23,8 +23,11 @@
 #include "core/sweep.hpp"
 #include "core/workload_cache.hpp"
 #include "dataplane/full_router.hpp"
+#include "lookup_bench.hpp"
 #include "netbase/table_gen.hpp"
+#include "trie/flat_multibit_trie.hpp"
 #include "trie/flat_trie.hpp"
+#include "trie/snapshot_publisher.hpp"
 #include "trie/unibit_trie.hpp"
 
 namespace {
@@ -49,26 +52,47 @@ std::string regenerate(const vr::core::FigureBuilder& builder) {
   return os.str();
 }
 
-/// Million lookups per second of the batched flat-SoA hot path.
-double batched_lookup_mlps(const vr::core::FigureOptions& opt) {
-  const vr::net::SyntheticTableGenerator gen(opt.table_profile);
-  const vr::trie::UnibitTrie trie =
-      vr::trie::UnibitTrie(gen.generate(opt.seed)).leaf_pushed();
-  vr::Rng rng(42);
-  std::vector<vr::net::Ipv4> addrs;
-  constexpr std::size_t kLookups = 1u << 20;
-  addrs.reserve(kLookups);
-  for (std::size_t i = 0; i < kLookups; ++i) {
-    addrs.emplace_back(static_cast<std::uint32_t>(rng.next_u64()));
-  }
-  const auto start = Clock::now();
-  const std::vector<vr::net::NextHop> hops = trie.lookup_batch(addrs);
-  const double ms = ms_since(start);
-  // Fold the results so the loop cannot be optimized away.
+/// The lookup-path numbers perf_sweep records next to the figure timings
+/// (perf_lookup measures the same quantities in more depth).
+struct LookupSection {
+  double unibit_mlps = 0.0;
+  double multibit_mlps = 0.0;      ///< stride-8 image, single thread
+  double per_thread_mlps = 0.0;    ///< stride-8 image across the pool
+  double update_publish_p99_us = 0.0;
+};
+
+/// Measures the batched flat-SoA hot paths and one churn run on the
+/// bench's own table profile.
+LookupSection lookup_section(const vr::core::FigureOptions& opt, bool quick,
+                             std::size_t pool) {
+  using namespace vr;
+  LookupSection out;
+  const net::RoutingTable table =
+      net::SyntheticTableGenerator(opt.table_profile).generate(opt.seed);
+  const std::size_t key_count = quick ? (1u << 16) : (1u << 20);
+  const unsigned reps = quick ? 2 : 3;
+  const std::vector<net::Ipv4> addrs = bench::random_addresses(key_count, 42);
   std::uint64_t sink = 0;
-  for (const vr::net::NextHop hop : hops) sink += hop;
+
+  const trie::UnibitTrie unibit = trie::UnibitTrie(table).leaf_pushed();
+  out.unibit_mlps = bench::batch_mlps(
+      addrs, [&] { return unibit.lookup_batch(addrs); }, reps, &sink);
+
+  const trie::FlatMultibitTrie multibit(table, /*stride=*/8);
+  out.multibit_mlps = bench::batch_mlps(
+      addrs, [&] { return multibit.lookup_batch(addrs); }, reps, &sink);
+  const bench::ThreadedMlps scaling = bench::threaded_mlps(
+      addrs, [&] { return multibit.lookup_batch(addrs); }, pool, reps,
+      &sink);
+  out.per_thread_mlps = scaling.per_thread_mlps;
+
+  trie::SnapshotPublisher publisher(table, /*stride=*/8);
+  const bench::ChurnResult churn = bench::publisher_churn(
+      publisher, table, /*batches=*/quick ? 8 : 32,
+      /*updates_per_batch=*/64, /*seed=*/7);
+  out.update_publish_p99_us = churn.publish_p99_us;
   if (sink == 0xdeadbeef) std::cerr << "";  // defeat DCE, never taken
-  return static_cast<double>(kLookups) / 1e3 / ms;
+  return out;
 }
 
 /// One small deterministic end-to-end dataplane run (3 VNs, separate
@@ -130,8 +154,8 @@ int main(int argc, char** argv) {
     base.max_vn = 6;
     base.memory_max_vn = 8;
   }
-  const std::size_t parallel_threads =
-      threads == 0 ? core::default_sweep_threads() : threads;
+  const core::ConcurrencyProbe probe = core::probe_concurrency();
+  const std::size_t parallel_threads = threads == 0 ? probe.threads : threads;
   const fpga::DeviceSpec device = fpga::DeviceSpec::xc6vlx760();
 
   // 1. Serial cold: the seed behaviour (one thread, every workload
@@ -166,7 +190,8 @@ int main(int argc, char** argv) {
       serial_csv == parallel_csv && parallel_csv == warm_csv;
   const double speedup_cold = serial_ms / parallel_cold_ms;
   const double speedup_warm = serial_ms / parallel_warm_ms;
-  const double mlps = batched_lookup_mlps(base);
+  const LookupSection lookup = lookup_section(base, quick, parallel_threads);
+  const double mlps = lookup.unibit_mlps;
   const dataplane::FullRouterResult dataplane = dataplane_phase(quick);
 
   TextTable table("perf_sweep - full Figs. 5-8 regeneration, both grades" +
@@ -187,7 +212,13 @@ int main(int argc, char** argv) {
             << "workload cache: " << cold_stats.hits << " hits / "
             << cold_stats.misses << " misses on the cold parallel run\n"
             << "flat SoA batched lookup: " << TextTable::num(mlps, 2)
-            << " Mlookups/s\n"
+            << " Mlookups/s unibit, " << TextTable::num(lookup.multibit_mlps, 2)
+            << " multibit (stride 8), "
+            << TextTable::num(lookup.per_thread_mlps, 2) << " per thread ("
+            << parallel_threads << " threads)\n"
+            << "snapshot publisher: p99 "
+            << TextTable::num(lookup.update_publish_p99_us, 1)
+            << " us per publish\n"
             << "dataplane phase: " << dataplane.scheduler.transmitted
             << " transmitted / " << dataplane.scheduler.tail_drops
             << " tail drops, p99 egress wait "
@@ -201,8 +232,8 @@ int main(int argc, char** argv) {
        << "  \"figures\": [\"fig5\", \"fig6\", \"fig7\", \"fig8\"],\n"
        << "  \"grades\": [\"-2\", \"-1L\"],\n"
        << "  \"threads\": " << parallel_threads << ",\n"
-       << "  \"hardware_concurrency\": "
-       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"hardware_concurrency\": " << probe.threads << ",\n"
+       << "  \"hardware_concurrency_source\": \"" << probe.source << "\",\n"
        << "  \"serial_cold_ms\": " << TextTable::num(serial_ms, 3) << ",\n"
        << "  \"parallel_cold_ms\": " << TextTable::num(parallel_cold_ms, 3)
        << ",\n"
@@ -217,6 +248,12 @@ int main(int argc, char** argv) {
        << "  \"cache_hits\": " << cold_stats.hits << ",\n"
        << "  \"cache_misses\": " << cold_stats.misses << ",\n"
        << "  \"batched_lookup_mlps\": " << TextTable::num(mlps, 3) << ",\n"
+       << "  \"lookup_mlps_multibit\": "
+       << TextTable::num(lookup.multibit_mlps, 3) << ",\n"
+       << "  \"lookup_mlps_per_thread\": "
+       << TextTable::num(lookup.per_thread_mlps, 3) << ",\n"
+       << "  \"update_publish_p99_us\": "
+       << TextTable::num(lookup.update_publish_p99_us, 3) << ",\n"
        << "  \"metrics\": "
        << obs::MetricsSink(obs::Registry::global()).json(2) << "\n"
        << "}\n";

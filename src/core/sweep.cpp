@@ -6,9 +6,13 @@
 #include <cstdlib>
 #include <string_view>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace vr::core {
 
-std::size_t default_sweep_threads() {
+ConcurrencyProbe probe_concurrency() {
   if (const char* env = std::getenv("VR_THREADS")) {
     const std::string_view text(env);
     long parsed = 0;
@@ -16,11 +20,11 @@ std::size_t default_sweep_threads() {
         std::from_chars(text.data(), text.data() + text.size(), parsed);
     // The whole value must parse ("8x" is not 8) and describe a usable
     // pool ("0" and "-3" are not). Anything else falls through to the
-    // hardware concurrency — loudly, once, because a silently ignored
+    // hardware probe — loudly, once, because a silently ignored
     // VR_THREADS turns every benchmark comparison into noise.
     if (ec == std::errc() && end == text.data() + text.size() &&
         parsed >= 1) {
-      return static_cast<std::size_t>(parsed);
+      return {static_cast<std::size_t>(parsed), "env:VR_THREADS"};
     }
     static std::atomic<bool> warned{false};
     if (!warned.exchange(true)) {
@@ -32,7 +36,21 @@ std::size_t default_sweep_threads() {
     }
   }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  if (hw >= 2) return {hw, "hardware_concurrency"};
+  // hardware_concurrency() may legally return 0 ("not computable") or an
+  // affinity-limited 1 even on multi-core hosts; cross-check the online-
+  // CPU count before concluding the machine is single-core.
+#if defined(_SC_NPROCESSORS_ONLN)
+  const long online = ::sysconf(_SC_NPROCESSORS_ONLN);
+  if (online >= 1 && static_cast<unsigned long>(online) > hw) {
+    return {static_cast<std::size_t>(online),
+            "sysconf:_SC_NPROCESSORS_ONLN"};
+  }
+#endif
+  if (hw >= 1) return {hw, "hardware_concurrency"};
+  return {1, "fallback"};
 }
+
+std::size_t default_sweep_threads() { return probe_concurrency().threads; }
 
 }  // namespace vr::core

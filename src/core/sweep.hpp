@@ -24,9 +24,24 @@
 
 namespace vr::core {
 
-/// Worker count used when a sweep does not pin one explicitly: the
-/// VR_THREADS environment variable when set to a positive integer, else
-/// std::thread::hardware_concurrency() (minimum 1).
+/// How the usable worker count was determined, for reporting: benchmark
+/// JSON records the source next to the number so a reader can tell a real
+/// single-core host from a container where hardware_concurrency() lies.
+struct ConcurrencyProbe {
+  std::size_t threads = 1;
+  /// "env:VR_THREADS", "hardware_concurrency",
+  /// "sysconf:_SC_NPROCESSORS_ONLN" or "fallback".
+  const char* source = "fallback";
+};
+
+/// Probes the usable concurrency: VR_THREADS when set to a positive
+/// integer, else std::thread::hardware_concurrency(), cross-checked
+/// against the online-CPU count when it reports 0 or 1 (both values it
+/// can legally return even on multi-core hosts).
+[[nodiscard]] ConcurrencyProbe probe_concurrency();
+
+/// Worker count used when a sweep does not pin one explicitly:
+/// probe_concurrency().threads.
 [[nodiscard]] std::size_t default_sweep_threads();
 
 class SweepRunner {

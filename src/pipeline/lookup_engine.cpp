@@ -22,13 +22,17 @@ LookupEngine::LookupEngine(TrieView trie, std::size_t stage_count)
                         " levels does not fit a " +
                         std::to_string(stage_count) + "-stage engine");
   }
-  // One trie level per stage means stage s inspects address bit s; a trie
-  // deeper than the address width would read past the last bit.
-  if (trie_.level_count() > kAddressBits + 1) {
+  // One trie level per stage means stage s inspects the address bits of
+  // trie level s; a trie deeper than the address width (in levels of
+  // `stride` bits each) would read past the last bit.
+  if (trie_.level_count() > trie_.max_levels()) {
     throw CapacityError("trie of " + std::to_string(trie_.level_count()) +
                         " levels exceeds the " +
-                        std::to_string(kAddressBits) +
-                        "-bit lookup address width");
+                        std::to_string(trie_.max_levels()) +
+                        "-level depth a stride-" +
+                        std::to_string(trie_.stride()) +
+                        " lookup of a " + std::to_string(kAddressBits) +
+                        "-bit address can have");
   }
   counters_.stage_busy.assign(stage_count, 0);
   counters_.stage_reads.assign(stage_count, 0);
@@ -59,8 +63,10 @@ void LookupEngine::tick(std::vector<LookupResult>* out) {
       // Perform the final stage's work first (it may still need its read).
       if (last.node != trie::kNullNode) {
         ++counters_.stage_reads[stages - 1];
-        const net::NextHop hop = trie_.next_hop(last.node, last.packet.vnid);
-        if (hop != net::kNoRoute) last.best = hop;
+        const TrieView::Step step =
+            trie_.step(last.node, last.packet.addr.value(), stages - 1,
+                       last.packet.vnid);
+        if (step.hop != net::kNoRoute) last.best = step.hop;
       }
       ++counters_.stage_busy[stages - 1];
       LookupResult result;
@@ -82,16 +88,10 @@ void LookupEngine::tick(std::vector<LookupResult>* out) {
     // then move it forward (no full copy-then-overwrite per stage).
     if (slot.node != trie::kNullNode) {
       ++counters_.stage_reads[s];
-      const net::NextHop hop = trie_.next_hop(slot.node, slot.packet.vnid);
-      if (hop != net::kNoRoute) slot.best = hop;
-      if (s < kAddressBits) {
-        const bool bit = bit_at(slot.packet.addr.value(),
-                                static_cast<unsigned>(s));
-        slot.node = bit ? trie_.right(slot.node) : trie_.left(slot.node);
-      } else {
-        // Address exhausted: a node this deep is necessarily a leaf.
-        slot.node = trie::kNullNode;
-      }
+      const TrieView::Step step = trie_.step(
+          slot.node, slot.packet.addr.value(), s, slot.packet.vnid);
+      if (step.hop != net::kNoRoute) slot.best = step.hop;
+      slot.node = step.next;
     }
     slots_[s + 1] = std::move(slot);
     slot.valid = false;

@@ -50,8 +50,10 @@ struct ActivityCounters {
 class LookupEngine {
  public:
   /// Width of the lookup address in bits (IPv4). Because stage s inspects
-  /// address bit s, a trie may have at most kAddressBits + 1 levels; the
-  /// constructor rejects mismatched widths up front.
+  /// the address bits of trie level s, a trie may have at most
+  /// TrieView::max_levels() levels (kAddressBits + 1 uni-bit, 32/stride
+  /// for a stride-k image); the constructor rejects mismatched depths up
+  /// front.
   static constexpr std::size_t kAddressBits = 32;
 
   /// Builds an engine over a trie view with `stage_count` stages; the trie

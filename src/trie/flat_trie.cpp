@@ -2,11 +2,35 @@
 
 #include "common/bitops.hpp"
 #include "common/error.hpp"
+#include "obs/registry.hpp"
+#include "trie/prefetch.hpp"
 
 namespace vr::trie {
 
+namespace {
+
+/// Batched-lookup counters of the unibit hot path, registered once.
+struct LookupMetrics {
+  obs::Counter& batches;
+  obs::Counter& keys;
+
+  static const LookupMetrics& get() {
+    static LookupMetrics metrics = [] {
+      obs::Registry& reg = obs::Registry::global();
+      return LookupMetrics{
+          reg.counter("trie.lookup_batches", {{"path", "unibit"}}),
+          reg.counter("trie.lookup_keys", {{"path", "unibit"}})};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
 FlatTrie::FlatTrie(const UnibitTrie& trie) : level_count_(trie.level_count()) {
   const std::span<const TrieNode> nodes = trie.nodes();
+  VR_REQUIRE(nodes.size() <= kMaxNodeCount,
+             "unibit trie node count exceeds what NodeIndex can address");
   left_.reserve(nodes.size());
   right_.reserve(nodes.size());
   next_hops_.reserve(nodes.size());
@@ -30,6 +54,8 @@ FlatTrie::FlatTrie(std::vector<NodeIndex> left, std::vector<NodeIndex> right,
   VR_REQUIRE(next_hops_.size() == left_.size() * vn_count_,
              "next-hop pool must hold vn_count entries per node");
   VR_REQUIRE(!left_.empty(), "flat trie needs at least the root node");
+  VR_REQUIRE(left_.size() <= kMaxNodeCount,
+             "flat trie node count exceeds what NodeIndex can address");
 }
 
 net::NextHop FlatTrie::lookup_raw(std::uint32_t addr,
@@ -55,23 +81,107 @@ std::optional<net::NextHop> FlatTrie::lookup(net::Ipv4 addr,
                               : std::optional<net::NextHop>(hop);
 }
 
+template <typename AddrFn, typename VnFn>
+void FlatTrie::lookup_batch_core(std::size_t count, AddrFn&& addr_at,
+                                 VnFn&& vn_at, net::NextHop* out) const {
+  // Lane-interleaved software pipeline (trie/prefetch.hpp): a window of up
+  // to D lookups is in flight; each round advances every lane one trie
+  // level and prefetches the child node the lane will read next round —
+  // only the side the next address bit selects — so up to D dependent
+  // pointer chases overlap instead of serializing.
+  struct Lane {
+    std::uint32_t addr;
+    NodeIndex node;
+    unsigned depth;
+    net::NextHop best;
+    net::VnId vn;
+    std::size_t out_index;
+  };
+  const unsigned window = prefetch_distance(kUnibitPrefetchDistance);
+  if (window <= 1) {
+    // A window of 1 is a plain scalar loop; skip the lane bookkeeping
+    // (the uni-bit default — its per-step work is too small to hide).
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = lookup_raw(addr_at(i), vn_at(i));
+    }
+    return;
+  }
+  Lane lanes[kMaxPrefetchDistance];
+  std::size_t issued = 0;
+  unsigned active = 0;
+  const auto start_lane = [&](Lane& lane, std::size_t i) {
+    lane.addr = addr_at(i);
+    lane.node = 0;
+    lane.depth = 0;
+    lane.best = net::kNoRoute;
+    lane.vn = vn_at(i);
+    lane.out_index = i;
+  };
+  while (issued < count && active < window) {
+    start_lane(lanes[active++], issued);
+    ++issued;
+  }
+  while (active > 0) {
+    for (unsigned l = 0; l < active;) {
+      Lane& lane = lanes[l];
+      const net::NextHop hop =
+          next_hops_[static_cast<std::size_t>(lane.node) * vn_count_ +
+                     lane.vn];
+      if (hop != net::kNoRoute) lane.best = hop;
+      NodeIndex child = kNullNode;
+      if (lane.depth < 32) {
+        child = bit_at(lane.addr, lane.depth) ? right_[lane.node]
+                                              : left_[lane.node];
+      }
+      ++lane.depth;
+      if (child == kNullNode) {
+        out[lane.out_index] = lane.best;
+        if (issued < count) {
+          start_lane(lane, issued);  // reuse the lane for the next key
+          ++issued;
+          ++l;
+        } else {
+          // Compact: the moved-in lane has not stepped this round yet, so
+          // do not advance l.
+          lanes[l] = lanes[--active];
+        }
+      } else {
+        lane.node = child;
+        if (lane.depth < 32) {
+          prefetch_read(bit_at(lane.addr, lane.depth) ? &right_[child]
+                                                      : &left_[child]);
+        }
+        prefetch_read(
+            &next_hops_[static_cast<std::size_t>(child) * vn_count_ +
+                        lane.vn]);
+        ++l;
+      }
+    }
+  }
+}
+
 std::vector<net::NextHop> FlatTrie::lookup_batch(
     std::span<const net::Ipv4> addrs, net::VnId vn) const {
-  std::vector<net::NextHop> out;
-  out.reserve(addrs.size());
-  for (const net::Ipv4 addr : addrs) {
-    out.push_back(lookup_raw(addr.value(), vn));
-  }
+  const LookupMetrics& metrics = LookupMetrics::get();
+  metrics.batches.add(1);
+  metrics.keys.add(addrs.size());
+  std::vector<net::NextHop> out(addrs.size(), net::kNoRoute);
+  lookup_batch_core(
+      addrs.size(), [&](std::size_t i) { return addrs[i].value(); },
+      [&](std::size_t) { return vn; }, out.data());
   return out;
 }
 
 std::vector<net::NextHop> FlatTrie::lookup_batch(
     std::span<const net::Packet> packets) const {
-  std::vector<net::NextHop> out;
-  out.reserve(packets.size());
-  for (const net::Packet& packet : packets) {
-    out.push_back(lookup_raw(packet.addr.value(), packet.vnid));
-  }
+  const LookupMetrics& metrics = LookupMetrics::get();
+  metrics.batches.add(1);
+  metrics.keys.add(packets.size());
+  std::vector<net::NextHop> out(packets.size(), net::kNoRoute);
+  lookup_batch_core(
+      packets.size(),
+      [&](std::size_t i) { return packets[i].addr.value(); },
+      [&](std::size_t i) { return packets[i].vnid; }, out.data());
   return out;
 }
 

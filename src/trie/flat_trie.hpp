@@ -70,6 +70,13 @@ class FlatTrie {
   [[nodiscard]] net::NextHop lookup_raw(std::uint32_t addr,
                                         net::VnId vn) const noexcept;
 
+  /// Prefetch-pipelined batch core (see trie/prefetch.hpp): resolves the
+  /// key (addr_at(i), vn_at(i)) into `out[i]` for i in [0, count).
+  /// Defined in the implementation file; instantiated only there.
+  template <typename AddrFn, typename VnFn>
+  void lookup_batch_core(std::size_t count, AddrFn&& addr_at, VnFn&& vn_at,
+                         net::NextHop* out) const;
+
   std::vector<NodeIndex> left_;
   std::vector<NodeIndex> right_;
   std::vector<net::NextHop> next_hops_;  // node-major, vn_count_ per node

@@ -15,7 +15,7 @@ MultibitTrie::MultibitTrie(const net::RoutingTable& table, unsigned stride)
 }
 
 NodeIndex MultibitTrie::allocate_node(std::size_t level) {
-  const auto index = static_cast<NodeIndex>(nodes_.size());
+  const NodeIndex index = checked_node_index(nodes_.size(), "multibit trie");
   nodes_.push_back(static_cast<std::uint8_t>(level));
   entries_.insert(entries_.end(), entries_per_node(), Entry{});
   if (level_node_counts_.size() <= level) {

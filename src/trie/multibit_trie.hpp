@@ -58,6 +58,18 @@ class MultibitTrie {
   [[nodiscard]] std::vector<std::uint64_t> level_memory_bits(
       unsigned pointer_bits = 18, unsigned nhi_bits = 8) const;
 
+  /// Child pointer of entry `slot` of `node` (kNullNode when absent) —
+  /// the read surface of the flat-image flattener.
+  [[nodiscard]] NodeIndex entry_child(NodeIndex node, std::size_t slot)
+      const {
+    return entry(node, slot).child;
+  }
+  /// Next hop stored at entry (node, slot); kNoRoute when none.
+  [[nodiscard]] net::NextHop entry_next_hop(NodeIndex node,
+                                            std::size_t slot) const {
+    return entry(node, slot).next_hop;
+  }
+
  private:
   struct Entry {
     NodeIndex child = kNullNode;

@@ -1,0 +1,44 @@
+#include "trie/prefetch.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+
+namespace vr::trie {
+
+namespace {
+
+std::optional<unsigned> parse_prefetch_env() {
+  const char* env = std::getenv("VR_PREFETCH_DIST");
+  if (env == nullptr) return std::nullopt;
+  const std::string_view text(env);
+  unsigned parsed = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec == std::errc() && end == text.data() + text.size() && parsed >= 1 &&
+      parsed <= kMaxPrefetchDistance) {
+    return parsed;
+  }
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "vrpower: ignoring invalid VR_PREFETCH_DIST=\"%s\" "
+                 "(expected an integer in [1, %u]); using the built-in "
+                 "default\n",
+                 env, kMaxPrefetchDistance);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+unsigned prefetch_distance(unsigned fallback) {
+  // Read the environment once: the hot loops call this per batch.
+  static const std::optional<unsigned> env_distance = parse_prefetch_env();
+  return env_distance.value_or(fallback);
+}
+
+}  // namespace vr::trie

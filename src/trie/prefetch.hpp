@@ -1,0 +1,42 @@
+// Software-prefetch tuning for the batched lookup hot paths.
+//
+// The batched lookup loops (FlatTrie::lookup_batch and
+// FlatMultibitTrie::lookup_batch) keep a window of D lookups in flight and
+// interleave their traversal steps: while lane i's node is being resolved,
+// the node lane i will visit *next* round has already been prefetched, so
+// the DRAM latency of up to D pointer chases overlaps instead of
+// serializing. D is the prefetch distance; 1 disables pipelining (straight
+// scalar loop per key).
+//
+// Each structure passes its own bench-chosen default (perf_lookup sweeps
+// D): the stride-k image wants a deep window (few, expensive steps per
+// key), the uni-bit trie a window of 1 (its per-step work is too small to
+// amortize the lane bookkeeping). VR_PREFETCH_DIST overrides both.
+#pragma once
+
+namespace vr::trie {
+
+/// Hard ceiling on the in-flight lookup window (lane state lives in a
+/// fixed-size stack array).
+inline constexpr unsigned kMaxPrefetchDistance = 32;
+
+/// Bench-chosen per-structure defaults (see perf_lookup).
+inline constexpr unsigned kUnibitPrefetchDistance = 1;
+inline constexpr unsigned kMultibitPrefetchDistance = 8;
+
+/// The batch pipelining window: the VR_PREFETCH_DIST environment variable
+/// when it parses as an integer in [1, kMaxPrefetchDistance], else
+/// `fallback`. Invalid values warn once on stderr and use the fallback.
+[[nodiscard]] unsigned prefetch_distance(unsigned fallback);
+
+/// Portable prefetch-for-read hint; compiles to nothing when the builtin
+/// is unavailable.
+inline void prefetch_read(const void* address) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/1);
+#else
+  (void)address;
+#endif
+}
+
+}  // namespace vr::trie

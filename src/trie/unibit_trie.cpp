@@ -17,7 +17,7 @@ UnibitTrie::UnibitTrie(const net::RoutingTable& table) {
       NodeIndex& child =
           go_right ? nodes_[current].right : nodes_[current].left;
       if (child == kNullNode) {
-        child = static_cast<NodeIndex>(nodes_.size());
+        child = checked_node_index(nodes_.size(), "unibit trie");
         nodes_.push_back(TrieNode{});
       }
       current = go_right ? nodes_[current].right : nodes_[current].left;
@@ -40,7 +40,7 @@ void UnibitTrie::canonicalize() {
   while (!frontier.empty()) {
     std::vector<NodeIndex> next;
     for (const NodeIndex old_index : frontier) {
-      remap[old_index] = static_cast<NodeIndex>(ordered.size());
+      remap[old_index] = checked_node_index(ordered.size(), "unibit trie");
       ordered.push_back(nodes_[old_index]);
       if (nodes_[old_index].left != kNullNode) {
         next.push_back(nodes_[old_index].left);
@@ -109,9 +109,11 @@ UnibitTrie UnibitTrie::leaf_pushed() const {
     }
     // Internal node: never carries a route after pushing; both children
     // exist in the output.
-    const auto left_dst = static_cast<NodeIndex>(pushed.nodes_.size());
+    const NodeIndex left_dst =
+        checked_node_index(pushed.nodes_.size(), "leaf-pushed trie");
     pushed.nodes_.push_back(TrieNode{});
-    const auto right_dst = static_cast<NodeIndex>(pushed.nodes_.size());
+    const NodeIndex right_dst =
+        checked_node_index(pushed.nodes_.size(), "leaf-pushed trie");
     pushed.nodes_.push_back(TrieNode{});
     pushed.nodes_[frame.dst].left = left_dst;
     pushed.nodes_[frame.dst].right = right_dst;

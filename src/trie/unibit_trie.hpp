@@ -8,8 +8,10 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "netbase/routing_table.hpp"
 
 namespace vr::trie {
@@ -19,6 +21,26 @@ class FlatTrie;
 /// Index of a node inside a trie's node vector.
 using NodeIndex = std::uint32_t;
 inline constexpr NodeIndex kNullNode = 0xffffffffu;
+
+/// Largest node count any trie or flat image may hold: kNullNode is a
+/// sentinel, so valid indices are [0, kMaxNodeCount).
+inline constexpr std::size_t kMaxNodeCount =
+    static_cast<std::size_t>(kNullNode);
+
+/// Narrows a node position to NodeIndex, aborting loudly when the count
+/// has outgrown the index type instead of silently wrapping — a flat image
+/// built from a wrapped index would alias unrelated nodes and return
+/// plausible-but-wrong next hops. `context` names the structure being
+/// built (appears in the abort message).
+[[nodiscard]] inline NodeIndex checked_node_index(std::size_t index,
+                                                  const char* context) {
+  VR_REQUIRE(index < kMaxNodeCount,
+             std::string(context) +
+                 ": node count exceeds what NodeIndex can address (" +
+                 std::to_string(index) + " >= " +
+                 std::to_string(kMaxNodeCount) + ")");
+  return static_cast<NodeIndex>(index);
+}
 
 /// A trie node. Nodes are stored level-contiguously after construction so
 /// that mapping onto pipeline stages is a simple slice per level.

@@ -78,8 +78,8 @@ MergedTrie::MergedTrie(std::span<const trie::UnibitTrie* const> tries)
         // remaining frames of this level plus the children queued so far,
         // so the child lands at P + level_size + children_so_far
         // = nodes_.size() + frontier.size() + 1.
-        node.left =
-            static_cast<trie::NodeIndex>(nodes_.size() + frontier.size() + 1);
+        node.left = trie::checked_node_index(
+            nodes_.size() + frontier.size() + 1, "merged trie");
         frontier.push_back(std::move(child));
       }
       if (any_right) {
@@ -90,8 +90,8 @@ MergedTrie::MergedTrie(std::span<const trie::UnibitTrie* const> tries)
           child.srcs[v] = src == trie::kNullNode ? trie::kNullNode
                                                  : tries[v]->node(src).right;
         }
-        node.right =
-            static_cast<trie::NodeIndex>(nodes_.size() + frontier.size() + 1);
+        node.right = trie::checked_node_index(
+            nodes_.size() + frontier.size() + 1, "merged trie");
         frontier.push_back(std::move(child));
       }
       nodes_.push_back(node);

@@ -1,0 +1,173 @@
+// SnapshotPublisher: correctness of the published images (every snapshot
+// equals a from-scratch build of the control-plane table at that epoch),
+// version/staleness accounting, and a reader/updater stress test that a
+// thread-sanitizer build (VR_SANITIZE=thread) checks for races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netbase/table_gen.hpp"
+#include "netbase/update_gen.hpp"
+#include "trie/snapshot_publisher.hpp"
+#include "trie/unibit_trie.hpp"
+#include "trie/updatable_trie.hpp"
+
+namespace vr::trie {
+namespace {
+
+using net::Ipv4;
+using net::RoutingTable;
+using net::RouteUpdate;
+
+RoutingTable gen_table(std::uint64_t seed, std::size_t prefixes = 300) {
+  net::TableProfile profile;
+  profile.prefix_count = prefixes;
+  return net::SyntheticTableGenerator(profile).generate(seed);
+}
+
+std::vector<RouteUpdate> gen_updates(const RoutingTable& base,
+                                     std::size_t count, std::uint64_t seed) {
+  net::UpdateStreamConfig config;
+  config.update_count = count;
+  return net::UpdateStreamGenerator(config).generate(base, seed);
+}
+
+TEST(SnapshotPublisherTest, InitialImageMatchesBaseTable) {
+  const RoutingTable base = gen_table(1);
+  const SnapshotPublisher publisher(base, /*stride=*/4);
+  EXPECT_EQ(publisher.published_version(), 0u);
+  EXPECT_EQ(publisher.route_count(), base.routes().size());
+  const SnapshotPublisher::Snapshot snap = publisher.acquire();
+  ASSERT_NE(snap.image, nullptr);
+  EXPECT_EQ(snap.version, 0u);
+  EXPECT_EQ(publisher.staleness_of(snap), 0u);
+  const UnibitTrie oracle(base);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const Ipv4 addr(static_cast<std::uint32_t>(rng.next_u64()));
+    EXPECT_EQ(snap.image->lookup(addr), oracle.lookup(addr));
+  }
+}
+
+TEST(SnapshotPublisherTest, EveryEpochMatchesControlPlaneRebuild) {
+  const RoutingTable base = gen_table(3);
+  SnapshotPublisher publisher(base, /*stride=*/4);
+  UpdatableTrie mirror(base);  // applies the same stream independently
+  const std::vector<RouteUpdate> stream = gen_updates(base, 200, 5);
+  constexpr std::size_t kBatch = 50;
+  for (std::size_t b = 0; b < stream.size() / kBatch; ++b) {
+    const std::span<const RouteUpdate> batch(stream.data() + b * kBatch,
+                                             kBatch);
+    const SnapshotPublisher::PublishReceipt receipt =
+        publisher.apply_batch(batch);
+    EXPECT_EQ(receipt.version, b + 1);
+    EXPECT_EQ(receipt.updates_applied, kBatch);
+    EXPECT_GE(receipt.apply_ns.value(), 0.0);
+    EXPECT_GE(receipt.build_ns.value(), 0.0);
+    EXPECT_GE(receipt.publish_ns.value(), 0.0);
+    for (const RouteUpdate& update : batch) (void)mirror.apply(update);
+
+    const SnapshotPublisher::Snapshot snap = publisher.acquire();
+    EXPECT_EQ(snap.version, b + 1);
+    EXPECT_EQ(publisher.published_version(), b + 1);
+    EXPECT_EQ(publisher.route_count(), mirror.route_count());
+    const FlatMultibitTrie rebuilt(mirror.to_table(), /*stride=*/4);
+    Rng rng(b);
+    for (int i = 0; i < 500; ++i) {
+      const Ipv4 addr(static_cast<std::uint32_t>(rng.next_u64()));
+      EXPECT_EQ(snap.image->lookup(addr), rebuilt.lookup(addr));
+    }
+  }
+}
+
+TEST(SnapshotPublisherTest, HeldSnapshotSurvivesLaterPublishes) {
+  const RoutingTable base = gen_table(7);
+  SnapshotPublisher publisher(base, /*stride=*/8);
+  const SnapshotPublisher::Snapshot old_snap = publisher.acquire();
+  const UnibitTrie oracle(base);
+
+  const std::vector<RouteUpdate> stream = gen_updates(base, 120, 9);
+  for (std::size_t b = 0; b < 3; ++b) {
+    (void)publisher.apply_batch(
+        std::span<const RouteUpdate>(stream.data() + b * 40, 40));
+  }
+  EXPECT_EQ(publisher.published_version(), 3u);
+  EXPECT_EQ(publisher.staleness_of(old_snap), 3u);
+  EXPECT_EQ(publisher.staleness_of(publisher.acquire()), 0u);
+  // The retired image is still fully readable (deferred reclamation).
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const Ipv4 addr(static_cast<std::uint32_t>(rng.next_u64()));
+    EXPECT_EQ(old_snap.image->lookup(addr), oracle.lookup(addr));
+  }
+}
+
+// Reader/updater stress: concurrent readers acquire snapshots and run
+// batched lookups while the writer keeps publishing churn batches. Under
+// VR_SANITIZE=thread this is the race detector's target; in a plain build
+// it still pins that every observed result is internally consistent
+// (valid staleness, readable image, stable batch results).
+TEST(SnapshotPublisherTest, ConcurrentReadersUnderChurn) {
+  const RoutingTable base = gen_table(13);
+  SnapshotPublisher publisher(base, /*stride=*/4);
+  const std::vector<RouteUpdate> stream = gen_updates(base, 800, 17);
+  constexpr std::size_t kBatch = 40;
+  const std::size_t batches = stream.size() / kBatch;
+
+  std::vector<Ipv4> addrs;
+  {
+    Rng rng(19);
+    for (int i = 0; i < 256; ++i) {
+      addrs.emplace_back(static_cast<std::uint32_t>(rng.next_u64()));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<bool> failed{false};
+  const auto reader = [&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const SnapshotPublisher::Snapshot snap = publisher.acquire();
+      if (snap.image == nullptr) {
+        failed.store(true);
+        return;
+      }
+      const std::vector<net::NextHop> once = snap.image->lookup_batch(addrs);
+      const std::vector<net::NextHop> twice =
+          snap.image->lookup_batch(addrs);
+      // The image is immutable: re-running the batch must be identical
+      // no matter how many publishes happened in between.
+      if (once != twice ||
+          publisher.staleness_of(snap) >
+              publisher.published_version() - snap.version) {
+        failed.store(true);
+        return;
+      }
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread r1(reader);
+  std::thread r2(reader);
+  for (std::size_t b = 0; b < batches; ++b) {
+    (void)publisher.apply_batch(
+        std::span<const RouteUpdate>(stream.data() + b * kBatch, kBatch));
+  }
+  // On a single-core host the writer can finish before the readers are
+  // even scheduled; keep the snapshots churn-adjacent by letting each
+  // reader complete at least one pass before stopping.
+  while (reads.load(std::memory_order_relaxed) < 2 && !failed.load()) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GE(reads.load(), 1u);
+  EXPECT_EQ(publisher.published_version(), batches);
+}
+
+}  // namespace
+}  // namespace vr::trie

@@ -89,6 +89,27 @@ TEST(SweepRunnerTest, VrThreadsEnvIsParsedStrictly) {
   unsetenv("VR_THREADS");
 }
 
+TEST(SweepRunnerTest, ConcurrencyProbeRecordsItsSource) {
+  setenv("VR_THREADS", "5", 1);
+  const ConcurrencyProbe pinned = probe_concurrency();
+  EXPECT_EQ(pinned.threads, 5u);
+  EXPECT_STREQ(pinned.source, "env:VR_THREADS");
+  unsetenv("VR_THREADS");
+
+  // Without the env var the probe must still find at least one usable
+  // thread and say where the number came from — the bench JSON records
+  // the source so a hardware_concurrency()==0/1 container is
+  // distinguishable from a genuinely single-core host.
+  const ConcurrencyProbe probed = probe_concurrency();
+  EXPECT_GE(probed.threads, 1u);
+  const std::string source = probed.source;
+  EXPECT_TRUE(source == "hardware_concurrency" ||
+              source == "sysconf:_SC_NPROCESSORS_ONLN" ||
+              source == "fallback")
+      << source;
+  EXPECT_EQ(default_sweep_threads(), probed.threads);
+}
+
 // ---------------------------------------------------------- WorkloadCache --
 
 Scenario small_scenario() {

@@ -15,7 +15,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 mode="${1:-}"
 
 if ! command -v clang-format > /dev/null 2>&1; then
-  echo "clang-format not installed — skipping format check."
+  echo "SKIP: clang-format not installed — format check did not run."
   exit 0
 fi
 

@@ -20,7 +20,7 @@ python3 "${repo_root}/tools/check_units.py" --root "${repo_root}" || status=1
 
 echo "== static gate: clang-tidy =="
 if ! command -v clang-tidy > /dev/null 2>&1; then
-  echo "clang-tidy not installed — skipping the tidy prong" \
+  echo "SKIP: clang-tidy not installed — the tidy prong did not run" \
        "(unit lint still gates)."
 elif [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   echo "no ${build_dir}/compile_commands.json — configure with" \
