@@ -20,9 +20,22 @@ FrameGenerator::FrameGenerator(FrameGenConfig config,
              "payload size/weight lists must be non-empty and equal");
 }
 
+std::uint64_t FrameGenerator::derive_seed(std::uint64_t scenario_seed,
+                                          std::uint64_t salt) noexcept {
+  SplitMix64 sm(scenario_seed);
+  return SplitMix64(sm.next() ^ salt).next();
+}
+
 std::vector<IngressFrame> FrameGenerator::generate(std::uint64_t seed) const {
-  const auto timed = traffic_.generate(seed);
-  Rng rng(seed ^ 0x0f0f0f0fULL);
+  // Expand the caller's seed into independent sub-streams with SplitMix64
+  // (the library's documented seeding discipline) instead of the ad-hoc
+  // XOR this used: XORing a structured seed (e.g. scenario.seed + vn) with
+  // a small constant produces correlated header streams across VNs.
+  SplitMix64 sm(seed);
+  const std::uint64_t traffic_seed = sm.next();
+  const std::uint64_t header_seed = sm.next();
+  const auto timed = traffic_.generate(traffic_seed);
+  Rng rng(header_seed);
   std::vector<IngressFrame> frames;
   frames.reserve(timed.size());
   std::uint16_t next_id = 0;

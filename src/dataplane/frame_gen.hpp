@@ -40,6 +40,13 @@ class FrameGenerator {
 
   [[nodiscard]] std::vector<IngressFrame> generate(std::uint64_t seed) const;
 
+  /// Derives an independent frame-stream seed from a scenario seed and a
+  /// stream salt (e.g. a run index) via SplitMix64 — the library's seeding
+  /// discipline. Replaces ad-hoc `scenario.seed + k` arithmetic, whose
+  /// nearby seeds produce correlated xoshiro streams.
+  [[nodiscard]] static std::uint64_t derive_seed(std::uint64_t scenario_seed,
+                                                 std::uint64_t salt) noexcept;
+
   [[nodiscard]] const FrameGenConfig& config() const noexcept {
     return config_;
   }

@@ -32,6 +32,46 @@ void publish_run_metrics(const FullRouterResult& result) {
   }
   registry.histogram("dataplane.queue_depth").merge(result.queue_depths);
   registry.histogram("dataplane.egress_wait_cycles").merge(result.egress_wait);
+  const power::ActivityCounters& act = result.activity;
+  for (std::size_t vn = 0; vn < act.vn_count(); ++vn) {
+    const obs::Labels labels{{"vn", std::to_string(vn)}};
+    registry.counter("dataplane.activity.parser_headers", labels)
+        .add(act.parser_headers[vn]);
+    registry.counter("dataplane.activity.buffer_writes", labels)
+        .add(act.buffer_writes[vn]);
+    registry.counter("dataplane.activity.buffer_reads", labels)
+        .add(act.buffer_reads[vn]);
+    registry.counter("dataplane.activity.crossbar_traversals", labels)
+        .add(act.crossbar_traversals[vn]);
+    registry.counter("dataplane.activity.arbiter_decisions", labels)
+        .add(act.arbiter_decisions[vn]);
+    registry.counter("dataplane.activity.editor_rewrites", labels)
+        .add(act.editor_rewrites[vn]);
+  }
+}
+
+// Folds the engines' per-(VN, stage) matrices into the run's activity
+// record, mapping engine-local VNIDs back to global ones: separate
+// arrangements rewrite every packet to local VNID 0 inside the engine that
+// serves global VN e, while the merged engine sees real VNIDs.
+void fold_engine_activity(const pipeline::VirtualRouter& lookup,
+                          power::ActivityCounters* activity) {
+  const std::size_t stages = activity->stage_count();
+  for (std::size_t e = 0; e < lookup.engine_count(); ++e) {
+    const pipeline::ActivityCounters& eng = lookup.engine(e).activity();
+    VR_REQUIRE(eng.stage_busy.size() == stages,
+               "engines must share the activity record's stage count");
+    for (std::size_t lv = 0; lv < eng.vn_count; ++lv) {
+      const std::size_t global_vn =
+          (lookup.engine_count() == lookup.vn_count() && eng.vn_count == 1)
+              ? e
+              : lv;
+      for (std::size_t s = 0; s < stages; ++s) {
+        activity->busy(global_vn, s) += eng.vn_stage_busy[lv * stages + s];
+        activity->reads(global_vn, s) += eng.vn_stage_reads[lv * stages + s];
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -76,6 +116,9 @@ FullRouterResult run_full_router(pipeline::VirtualRouter& lookup,
   Parser parser;
   Editor editor;
   DrrScheduler scheduler(config.scheduler);
+  VR_REQUIRE(lookup.engine_count() >= 1, "router needs at least one engine");
+  power::ActivityCounters activity(lookup.vn_count(),
+                                   lookup.engine(0).stage_count());
 
   // Per-VN FIFO of parsed packets awaiting their lookup result. Both the
   // separate router (per-engine in-order pipelines) and the merged router
@@ -101,8 +144,13 @@ FullRouterResult run_full_router(pipeline::VirtualRouter& lookup,
     while (next_frame < frames.size() &&
            frames[next_frame].cycle <= cycle) {
       const IngressFrame& frame = frames[next_frame];
+      // Every arriving frame pays the parse, accepted or dropped.
+      if (frame.vnid < activity.vn_count()) {
+        ++activity.parser_headers[frame.vnid];
+      }
       if (const auto parsed = parser.accept(frame.vnid, frame.header,
                                             frame.payload_bytes)) {
+        ++activity.buffer_writes[parsed->vnid];
         lookup_backlog.push_back(*parsed);
       }
       ++next_frame;
@@ -115,6 +163,7 @@ FullRouterResult run_full_router(pipeline::VirtualRouter& lookup,
       const ParsedPacket& head = lookup_backlog[burst];
       const net::Packet request{head.header.destination, head.vnid};
       if (lookup.offer(request)) {
+        ++activity.buffer_reads[head.vnid];
         awaiting[head.vnid].push_back(head);
         lookup_backlog.erase(lookup_backlog.begin() +
                              static_cast<std::ptrdiff_t>(burst));
@@ -135,12 +184,20 @@ FullRouterResult run_full_router(pipeline::VirtualRouter& lookup,
       VR_REQUIRE(parsed.header.destination == done.packet.addr,
                  "per-VN completion order violated");
       if (const auto forwarded = editor.edit(parsed, done.next_hop)) {
-        scheduler.enqueue(*forwarded, cycle);
+        ++activity.editor_rewrites[forwarded->vnid];
+        ++activity.crossbar_traversals[forwarded->vnid];
+        if (scheduler.enqueue(*forwarded, cycle)) {
+          ++activity.buffer_writes[forwarded->vnid];
+        }
       }
     }
 
-    // 4. Egress transmission.
+    // 4. Egress transmission (each transmit reads its queue once).
+    const std::size_t egress_before = result.egress.size();
     scheduler.tick(cycle, &result.egress);
+    for (std::size_t i = egress_before; i < result.egress.size(); ++i) {
+      ++activity.buffer_reads[result.egress[i].vnid];
+    }
     ++cycle;
   }
 
@@ -148,6 +205,10 @@ FullRouterResult run_full_router(pipeline::VirtualRouter& lookup,
   result.editor = editor.stats();
   result.scheduler = scheduler.stats();
   result.cycles = cycle;
+  activity.cycles = cycle;
+  activity.arbiter_decisions = result.scheduler.arbiter_grants_per_vn;
+  fold_engine_activity(lookup, &activity);
+  result.activity = std::move(activity);
   result.queue_depths = scheduler.queue_depth_histogram();
   result.egress_wait = scheduler.egress_wait_histogram();
   publish_run_metrics(result);

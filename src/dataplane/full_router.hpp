@@ -15,6 +15,7 @@
 #include "dataplane/scheduler.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/router.hpp"
+#include "power/activity.hpp"
 
 namespace vr::dataplane {
 
@@ -34,6 +35,10 @@ struct FullRouterResult {
   obs::HistogramSnapshot queue_depths;
   /// Egress queueing delay distribution (cycles enqueue -> transmit).
   obs::HistogramSnapshot egress_wait;
+  /// Per-stage, per-VN event counts of the run — the input of
+  /// power::ActivityModel. Global VNIDs, regardless of the lookup
+  /// arrangement (separate engines report under the VN they serve).
+  power::ActivityCounters activity;
 
   /// Goodput share per VN (fraction of total transmitted bytes).
   [[nodiscard]] std::vector<double> goodput_shares() const;

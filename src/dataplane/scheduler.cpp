@@ -25,6 +25,8 @@ DrrScheduler::DrrScheduler(SchedulerConfig config)
     port.deficit.assign(config_.vn_count, 0.0);
   }
   stats_.bytes_per_vn.assign(config_.vn_count, 0);
+  stats_.tail_drops_per_vn.assign(config_.vn_count, 0);
+  stats_.arbiter_grants_per_vn.assign(config_.vn_count, 0);
 }
 
 double DrrScheduler::quantum_for(net::VnId vn) const {
@@ -44,6 +46,7 @@ bool DrrScheduler::enqueue(const ForwardedPacket& packet,
   auto& queue = ports_[packet.port].queues[packet.vnid];
   if (queue.size() >= config_.queue_capacity) {
     ++stats_.tail_drops;
+    ++stats_.tail_drops_per_vn[packet.vnid];
     ++stats_.rejected;
     return false;
   }
@@ -78,6 +81,7 @@ void DrrScheduler::tick(std::uint64_t cycle, std::vector<EgressRecord>* out) {
       if (!port.quantum_added) {
         port.deficit[vn] += quantum_for(static_cast<net::VnId>(vn));
         port.quantum_added = true;
+        ++stats_.arbiter_grants_per_vn[vn];
       }
       while (!queue.empty() &&
              port.deficit[vn] >= static_cast<double>(queue.front().bytes) &&

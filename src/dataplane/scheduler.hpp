@@ -50,6 +50,11 @@ struct SchedulerStats {
   /// here too, so "refused" has one total regardless of cause.
   std::uint64_t rejected = 0;
   std::vector<std::uint64_t> bytes_per_vn;  ///< transmitted bytes by VN
+  /// Tail drops resolved by VN — the backpressure each tenant felt.
+  std::vector<std::uint64_t> tail_drops_per_vn;
+  /// DRR grant decisions (a quantum awarded to a VN's queue) by VN; the
+  /// arbiter events the activity power model charges.
+  std::vector<std::uint64_t> arbiter_grants_per_vn;
 };
 
 class DrrScheduler {

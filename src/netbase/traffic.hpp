@@ -57,7 +57,53 @@ struct TrafficConfig {
   /// edge-network peaks that make time-sharing (the merged scheme) work.
   /// Empty = one global duty window (the default behaviour).
   std::vector<double> vn_phase_offsets;
+
+  /// Markov-modulated on/off burstiness: when both means are positive an
+  /// independent two-state process gates all arrivals; on/off run lengths
+  /// are geometric with the given means, so the long-run on fraction is
+  /// mean_on / (mean_on + mean_off). Zero disables the process — and, by
+  /// contract, draws no randoms, so default traces are byte-identical to
+  /// pre-burst builds. The burst process uses its own derived stream; the
+  /// arrival stream is untouched either way.
+  double burst_mean_on_cycles = 0.0;
+  double burst_mean_off_cycles = 0.0;
+
+  /// Diurnal load modulation: when period > 0 and depth > 0 the per-cycle
+  /// load is scaled by 1 - depth·(1 - cos(2π·cycle/period))/2 — full load
+  /// at each period start, (1-depth)·load in the trough, mean factor
+  /// 1 - depth/2. Deterministic: no extra randoms.
+  std::uint64_t diurnal_period = 0;
+  double diurnal_depth = 0.0;
 };
+
+/// Canonical trace shapes of the activity-vs-µ validation experiment
+/// (EXPERIMENTS.md): the µ-model compresses each VN's behaviour into one
+/// utilization scalar; these shapes stress exactly what that compression
+/// loses.
+enum class TraceShape : std::uint8_t {
+  kUniform,  ///< stationary uniform load — the µ-model's home turf
+  kBursty,   ///< Markov on/off bursts at the same mean load
+  kDiurnal,  ///< slow sinusoidal load swing
+  kSkewed,   ///< geometric per-VN share skew (VN 0 dominates)
+};
+
+[[nodiscard]] const char* to_string(TraceShape shape) noexcept;
+
+/// Builds the canonical TrafficConfig for a shape: every shape offers the
+/// same nominal aggregate load so the µ-model sees the same scalar, and
+/// only the arrival structure differs.
+[[nodiscard]] TrafficConfig make_shaped_config(TraceShape shape,
+                                               std::uint64_t cycles,
+                                               double load,
+                                               std::size_t vn_count);
+
+/// The per-VN mean offered load (packets/cycle) a config promises — the
+/// nominal µ_i a capacity planner would feed the analytical model: duty,
+/// burst duty and mean diurnal factor applied to each VN's share. Actual
+/// traces fluctuate around it; the activity backend measures the
+/// difference.
+[[nodiscard]] std::vector<double> nominal_utilization(
+    const TrafficConfig& config, std::size_t vn_count);
 
 /// Generates traces whose destination addresses are sampled from the routes
 /// of the owning virtual network (so every lookup matches), with host bits

@@ -87,6 +87,28 @@ std::vector<Registry::Snapshot> Registry::snapshot() const {
   return out;
 }
 
+void Registry::merge(const Registry& other) {
+  VR_REQUIRE(&other != this, "registry cannot merge with itself");
+  // Copy the source under its own lock, then fold without holding it:
+  // find_or_create takes this registry's lock per metric, so the two locks
+  // are never held together (no ordering, no deadlock).
+  const std::vector<Snapshot> snaps = other.snapshot();
+  for (const Snapshot& snap : snaps) {
+    Metric& metric = find_or_create(snap.name, snap.labels, snap.kind);
+    switch (snap.kind) {
+      case MetricKind::kCounter:
+        metric.counter.add(snap.counter);
+        break;
+      case MetricKind::kGauge:
+        metric.gauge.add(snap.gauge);
+        break;
+      case MetricKind::kHistogram:
+        metric.histogram.merge(snap.histogram);
+        break;
+    }
+  }
+}
+
 void Registry::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, metric] : metrics_) {

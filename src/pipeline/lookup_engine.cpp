@@ -14,6 +14,17 @@ double ActivityCounters::mean_stage_utilization() const noexcept {
   return sum / static_cast<double>(stage_busy.size());
 }
 
+double ActivityCounters::vn_utilization(std::size_t vn) const noexcept {
+  const std::size_t stages = stage_busy.size();
+  if (cycles == 0 || stages == 0 || vn >= vn_count) return 0.0;
+  double sum = 0.0;
+  for (std::size_t s = 0; s < stages; ++s) {
+    sum += static_cast<double>(vn_stage_busy[vn * stages + s]) /
+           static_cast<double>(cycles);
+  }
+  return sum / static_cast<double>(stages);
+}
+
 LookupEngine::LookupEngine(TrieView trie, std::size_t stage_count)
     : trie_(trie), slots_(stage_count) {
   VR_REQUIRE(stage_count >= 1, "engine needs at least one stage");
@@ -36,6 +47,9 @@ LookupEngine::LookupEngine(TrieView trie, std::size_t stage_count)
   }
   counters_.stage_busy.assign(stage_count, 0);
   counters_.stage_reads.assign(stage_count, 0);
+  counters_.vn_count = trie_.vn_count();
+  counters_.vn_stage_busy.assign(counters_.vn_count * stage_count, 0);
+  counters_.vn_stage_reads.assign(counters_.vn_count * stage_count, 0);
 }
 
 bool LookupEngine::offer(const net::Packet& packet) {
@@ -63,12 +77,14 @@ void LookupEngine::tick(std::vector<LookupResult>* out) {
       // Perform the final stage's work first (it may still need its read).
       if (last.node != trie::kNullNode) {
         ++counters_.stage_reads[stages - 1];
+        ++counters_.vn_stage_reads[last.packet.vnid * stages + stages - 1];
         const TrieView::Step step =
             trie_.step(last.node, last.packet.addr.value(), stages - 1,
                        last.packet.vnid);
         if (step.hop != net::kNoRoute) last.best = step.hop;
       }
       ++counters_.stage_busy[stages - 1];
+      ++counters_.vn_stage_busy[last.packet.vnid * stages + stages - 1];
       LookupResult result;
       result.exit_cycle = counters_.cycles + 1;
       result.packet = last.packet;
@@ -84,10 +100,12 @@ void LookupEngine::tick(std::vector<LookupResult>* out) {
     Slot& slot = slots_[s];
     if (!slot.valid) continue;
     ++counters_.stage_busy[s];
+    ++counters_.vn_stage_busy[slot.packet.vnid * stages + s];
     // Advance in place: do this stage's read/branch directly on the slot,
     // then move it forward (no full copy-then-overwrite per stage).
     if (slot.node != trie::kNullNode) {
       ++counters_.stage_reads[s];
+      ++counters_.vn_stage_reads[slot.packet.vnid * stages + s];
       const TrieView::Step step = trie_.step(
           slot.node, slot.packet.addr.value(), s, slot.packet.vnid);
       if (step.hop != net::kNoRoute) slot.best = step.hop;

@@ -42,9 +42,21 @@ struct ActivityCounters {
   std::vector<std::uint64_t> stage_busy;
   /// Cycles in which stage s performed a memory read.
   std::vector<std::uint64_t> stage_reads;
+  /// VNs the per-VN matrices below resolve over (0 when the engine predates
+  /// per-VN tracking, e.g. a default-constructed counter in tests).
+  std::size_t vn_count = 0;
+  /// stage_busy resolved per VN, VN-major ([vn * stage_count + s]). Sums
+  /// over VNs equal stage_busy.
+  std::vector<std::uint64_t> vn_stage_busy;
+  /// stage_reads resolved per VN, VN-major.
+  std::vector<std::uint64_t> vn_stage_reads;
 
   /// Mean fraction of cycles a stage was busy (the measured utilization µ).
   [[nodiscard]] double mean_stage_utilization() const noexcept;
+
+  /// Fraction of cycles VN `vn`'s packets occupied a stage, averaged over
+  /// stages — the measured per-VN utilization µ_vn.
+  [[nodiscard]] double vn_utilization(std::size_t vn) const noexcept;
 };
 
 class LookupEngine {

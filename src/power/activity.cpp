@@ -1,0 +1,51 @@
+#include "power/activity.hpp"
+
+#include "common/error.hpp"
+
+namespace vr::power {
+
+ActivityCounters::ActivityCounters(std::size_t vn_count,
+                                   std::size_t stage_count)
+    : parser_headers(vn_count, 0),
+      buffer_writes(vn_count, 0),
+      buffer_reads(vn_count, 0),
+      crossbar_traversals(vn_count, 0),
+      arbiter_decisions(vn_count, 0),
+      editor_rewrites(vn_count, 0),
+      stage_busy(vn_count * stage_count, 0),
+      stage_reads(vn_count * stage_count, 0) {
+  VR_REQUIRE(vn_count >= 1, "activity counters need at least one VN");
+  VR_REQUIRE(stage_count >= 1, "activity counters need at least one stage");
+}
+
+namespace {
+
+void add_vector(std::vector<std::uint64_t>* into,
+                const std::vector<std::uint64_t>& from) {
+  VR_REQUIRE(into->size() == from.size(),
+             "activity counter shapes must match to merge");
+  for (std::size_t i = 0; i < from.size(); ++i) (*into)[i] += from[i];
+}
+
+}  // namespace
+
+void ActivityCounters::merge(const ActivityCounters& other) {
+  cycles += other.cycles;
+  add_vector(&parser_headers, other.parser_headers);
+  add_vector(&buffer_writes, other.buffer_writes);
+  add_vector(&buffer_reads, other.buffer_reads);
+  add_vector(&crossbar_traversals, other.crossbar_traversals);
+  add_vector(&arbiter_decisions, other.arbiter_decisions);
+  add_vector(&editor_rewrites, other.editor_rewrites);
+  add_vector(&stage_busy, other.stage_busy);
+  add_vector(&stage_reads, other.stage_reads);
+}
+
+std::uint64_t ActivityCounters::total(
+    const std::vector<std::uint64_t>& per_vn) noexcept {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : per_vn) sum += v;
+  return sum;
+}
+
+}  // namespace vr::power

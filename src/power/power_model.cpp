@@ -1,0 +1,78 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace vr::power {
+
+std::vector<double> resolve_mu(const ModelContext& ctx) {
+  VR_REQUIRE(ctx.vn_count >= 1, "model context needs at least one VN");
+  if (ctx.op.utilization.empty()) {
+    return std::vector<double>(ctx.vn_count,
+                               1.0 / static_cast<double>(ctx.vn_count));
+  }
+  VR_REQUIRE(ctx.op.utilization.size() == ctx.vn_count,
+             "utilization vector size must equal the VN count");
+  for (const double u : ctx.op.utilization) {
+    VR_REQUIRE(u >= 0.0 && u <= 1.0, "utilization must be in [0,1]");
+  }
+  return ctx.op.utilization;
+}
+
+MuModel::MuModel(fpga::DeviceSpec device) : model_(std::move(device)) {}
+
+std::vector<units::Watts> MuModel::per_vn_dynamic_w(
+    const ModelContext& ctx) const {
+  const std::vector<double> mu = resolve_mu(ctx);
+  std::vector<units::Watts> out(ctx.vn_count);
+  if (ctx.scheme == Scheme::kMerged) {
+    VR_REQUIRE(ctx.merged_engine != nullptr,
+               "merged scheme needs a merged engine spec");
+    // Eq. 6: one engine at the aggregate utilization; each VN's share of
+    // the time-shared engine is its share of the offered load.
+    units::Watts per_pass;  // one packet's worth: every stage, full power
+    for (const std::uint64_t bits : ctx.merged_engine->stage_bits) {
+      per_pass += model_.stage_logic_power_w(ctx.op);
+      per_pass += model_.stage_memory_power_w(units::Bits{bits}, ctx.op);
+    }
+    const double offered = std::accumulate(mu.begin(), mu.end(), 0.0);
+    const double served = std::min(1.0, offered);
+    for (std::size_t i = 0; i < ctx.vn_count; ++i) {
+      const double share = offered <= 0.0 ? 0.0 : mu[i] / offered;
+      out[i] = per_pass * (served * share);
+    }
+    return out;
+  }
+  // Eqs. 2/4 (NV and VS share the dynamic term): VN i's dedicated engine
+  // at µ_i.
+  VR_REQUIRE(ctx.engines.size() == ctx.vn_count,
+             "separate schemes need one engine spec per VN");
+  for (std::size_t i = 0; i < ctx.vn_count; ++i) {
+    units::Watts engine_w;
+    for (const std::uint64_t bits : ctx.engines[i].stage_bits) {
+      engine_w += model_.stage_logic_power_w(ctx.op);
+      engine_w += model_.stage_memory_power_w(units::Bits{bits}, ctx.op);
+    }
+    out[i] = engine_w * mu[i];
+  }
+  return out;
+}
+
+PowerBreakdown MuModel::breakdown(const ModelContext& ctx) const {
+  switch (ctx.scheme) {
+    case Scheme::kNonVirtualized:
+      return model_.estimate_nv(ctx.engines, ctx.op);
+    case Scheme::kSeparate:
+      return model_.estimate_vs(ctx.engines, ctx.op);
+    case Scheme::kMerged:
+      VR_REQUIRE(ctx.merged_engine != nullptr,
+                 "merged scheme needs a merged engine spec");
+      return model_.estimate_vm(*ctx.merged_engine, ctx.vn_count, ctx.op);
+  }
+  VR_REQUIRE(false, "unknown scheme");
+  return {};
+}
+
+}  // namespace vr::power

@@ -1,0 +1,93 @@
+// The two-backend dynamic-power architecture (DESIGN.md §13): one common
+// DynamicPowerModel interface answered by
+//
+//   * MuModel       — the paper's analytical µ-weighting (Eqs. 2/4/6),
+//                     delegating to AnalyticalModel so its numbers stay
+//                     bit-identical to the golden figures; and
+//   * ActivityModel — per-event energy accounting over measured dataplane
+//                     activity (power/activity_model.hpp).
+//
+// Both backends draw every coefficient from the same XPE tables, so on a
+// uniform trace they must agree (the `ctest -L power-model` cross-
+// validation); on shaped traffic (bursty, diurnal, skewed) the divergence
+// IS the measurement — what a single per-VN utilization scalar cannot
+// express.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "power/activity.hpp"
+#include "power/analytical_model.hpp"
+#include "power/scheme.hpp"
+
+namespace vr::power {
+
+/// Everything a dynamic-power backend may consult. The analytical backend
+/// uses the engine specs and the operating point's µ vector; the activity
+/// backend additionally requires `activity` (and charges what it counted).
+struct ModelContext {
+  Scheme scheme = Scheme::kSeparate;
+  /// Per-VN engines (NV/VS); must have one entry per VN. Ignored by the
+  /// merged scheme.
+  std::span<const EngineSpec> engines;
+  /// Merged engine (VM only).
+  const EngineSpec* merged_engine = nullptr;
+  std::size_t vn_count = 0;
+  OperatingPoint op;
+  /// Measured dataplane events; required by ActivityModel, ignored by
+  /// MuModel.
+  const ActivityCounters* activity = nullptr;
+};
+
+/// A dynamic-power estimator: attributes the lookup path's dynamic (logic
+/// + memory) watts to each virtual network. Leakage is scheme bookkeeping
+/// (devices × static power), not a per-VN quantity, and stays with
+/// AnalyticalModel / the estimator layer.
+class DynamicPowerModel {
+ public:
+  virtual ~DynamicPowerModel() = default;
+  DynamicPowerModel() = default;
+  DynamicPowerModel(const DynamicPowerModel&) = delete;
+  DynamicPowerModel& operator=(const DynamicPowerModel&) = delete;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Dynamic watts of the lookup engines attributed to each VN.
+  [[nodiscard]] virtual std::vector<units::Watts> per_vn_dynamic_w(
+      const ModelContext& ctx) const = 0;
+};
+
+/// The analytical µ backend: P_i = µ_i · Σ_j (P(L) + P(M_{i,j})) for
+/// NV/VS, and the Σµ-weighted merged engine split by offered share for VM
+/// — exactly AnalyticalModel's arithmetic, resolved per VN.
+class MuModel final : public DynamicPowerModel {
+ public:
+  explicit MuModel(fpga::DeviceSpec device);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "mu-analytical";
+  }
+
+  [[nodiscard]] std::vector<units::Watts> per_vn_dynamic_w(
+      const ModelContext& ctx) const override;
+
+  /// The wrapped full-breakdown estimate (static + dynamic), for callers
+  /// that also need leakage. Dispatches on ctx.scheme.
+  [[nodiscard]] PowerBreakdown breakdown(const ModelContext& ctx) const;
+
+  [[nodiscard]] const AnalyticalModel& analytical() const noexcept {
+    return model_;
+  }
+
+ private:
+  AnalyticalModel model_;
+};
+
+/// Resolves the context's µ vector the way AnalyticalModel does: the
+/// operating point's explicit utilizations, or uniform 1/K when empty
+/// (Assumption 1). Shared by backends and benches.
+[[nodiscard]] std::vector<double> resolve_mu(const ModelContext& ctx);
+
+}  // namespace vr::power

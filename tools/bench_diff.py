@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files with a relative tolerance.
+
+Every perf bench in this repo emits a JSON report whose leaves are either
+identity fields (benchmark name, profile, row keys like shape/scheme) or
+measured numbers (watts, cycles, divergence percentages). This tool diffs
+two such reports structurally:
+
+* identity fields (strings, booleans, array lengths, object keys) must
+  match exactly — a missing row or a renamed scheme is a shape change,
+  not a regression, and always fails;
+* numeric leaves must agree within --rel-tol (default 5%), with an
+  --abs-tol floor (default 1e-9) so near-zero values do not explode the
+  relative error;
+* the `metrics` subtree (wall-clock observability: timings, cache hits)
+  is skipped by default because it is expected to vary run to run. Pass
+  --include-metrics to diff it too.
+
+Intended use: re-run a bench before and after a change and gate on the
+numbers staying put, without requiring byte-identical output the way the
+golden tests do:
+
+    bench/perf_activity --output after.json
+    tools/bench_diff.py BENCH_activity.json after.json --rel-tol 0.05
+
+Exit: 0 within tolerance, 1 divergence found, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def is_number(value) -> bool:
+    # bool is an int subclass in Python; treat it as identity, not a measurement.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def diff(a, b, path: str, opts, failures: list) -> None:
+    if not opts.include_metrics and path == "metrics":
+        return
+    if is_number(a) and is_number(b):
+        denom = max(abs(a), abs(b))
+        if abs(a - b) > max(opts.abs_tol, opts.rel_tol * denom):
+            rel = abs(a - b) / denom if denom > 0 else float("inf")
+            failures.append(
+                f"{path}: {a} vs {b} (rel err {rel:.2%}, tol {opts.rel_tol:.2%})")
+        return
+    if type(a) is not type(b):
+        failures.append(f"{path}: type mismatch ({type(a).__name__} vs "
+                        f"{type(b).__name__})")
+        return
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else key
+            if key not in a:
+                failures.append(f"{sub}: only in second file")
+            elif key not in b:
+                failures.append(f"{sub}: only in first file")
+            else:
+                diff(a[key], b[key], sub, opts, failures)
+        return
+    if isinstance(a, list):
+        if len(a) != len(b):
+            failures.append(f"{path}: length {len(a)} vs {len(b)}")
+            return
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff(x, y, f"{path}[{i}]", opts, failures)
+        return
+    if a != b:
+        failures.append(f"{path}: {a!r} vs {b!r}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json reports with a relative tolerance.")
+    parser.add_argument("first", help="baseline BENCH_*.json")
+    parser.add_argument("second", help="candidate BENCH_*.json")
+    parser.add_argument("--rel-tol", type=float, default=0.05,
+                        help="relative tolerance for numeric leaves "
+                             "(default 0.05 = 5%%)")
+    parser.add_argument("--abs-tol", type=float, default=1e-9,
+                        help="absolute floor below which numbers always "
+                             "match (default 1e-9)")
+    parser.add_argument("--include-metrics", action="store_true",
+                        help="also diff the `metrics` subtree (skipped by "
+                             "default: wall-clock values vary run to run)")
+    opts = parser.parse_args()
+    if opts.rel_tol < 0 or opts.abs_tol < 0:
+        print("error: tolerances must be non-negative", file=sys.stderr)
+        return 2
+
+    docs = []
+    for name in (opts.first, opts.second):
+        try:
+            with open(name, encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            return 2
+
+    failures: list = []
+    diff(docs[0], docs[1], "", opts, failures)
+    if failures:
+        print(f"bench_diff: {len(failures)} divergence(s) between "
+              f"{opts.first} and {opts.second}:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"bench_diff: {opts.first} and {opts.second} agree within "
+          f"rel-tol {opts.rel_tol:g}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
