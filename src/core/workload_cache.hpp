@@ -109,13 +109,13 @@ class WorkloadCache {
   void enforce_budget_locked();
 
   mutable std::mutex mu_;
-  std::unordered_map<std::string, Slot> entries_;
+  std::unordered_map<std::string, Slot> entries_;  // guarded_by(mu_)
   /// Completed entries, most recently used first.
-  std::list<std::string> lru_;
-  std::uint64_t resident_bytes_ = 0;
-  std::uint64_t ready_entries_ = 0;
-  std::uint64_t max_resident_bytes_;
-  std::size_t max_entries_;
+  std::list<std::string> lru_;         // guarded_by(mu_)
+  std::uint64_t resident_bytes_ = 0;   // guarded_by(mu_)
+  std::uint64_t ready_entries_ = 0;    // guarded_by(mu_)
+  std::uint64_t max_resident_bytes_;   // guarded_by(mu_)
+  std::size_t max_entries_;            // guarded_by(mu_)
 
   // Metric cells: own_* back a standalone cache; the pointers target the
   // registry's cells when one was supplied.

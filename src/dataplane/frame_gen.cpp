@@ -18,6 +18,14 @@ FrameGenerator::FrameGenerator(FrameGenConfig config,
                  config_.payload_sizes.size() ==
                      config_.payload_weights.size(),
              "payload size/weight lists must be non-empty and equal");
+  // total_length is a 16-bit wire field holding header + payload; a
+  // payload above 65515 would silently wrap it and every downstream
+  // consumer (parser, scheduler byte accounting, activity counters)
+  // would see a tiny frame instead of a jumbo one.
+  for (const std::uint16_t size : config_.payload_sizes) {
+    VR_REQUIRE(size <= kMaxPayloadBytes,
+               "payload size overflows the 16-bit total_length field");
+  }
 }
 
 std::uint64_t FrameGenerator::derive_seed(std::uint64_t scenario_seed,
@@ -49,16 +57,23 @@ std::vector<IngressFrame> FrameGenerator::generate(std::uint64_t seed) const {
     net::Ipv4Header& header = frame.header;
     header.destination = tp.packet.addr;
     header.source =
+        // narrow-ok: deliberate truncation to the low 32 bits of the
+        // u64 stream (uniform over the IPv4 space)
         net::Ipv4(static_cast<std::uint32_t>(rng.next_u64()));
+    // narrow-ok: next_below(4) << 3 is at most 24
     header.dscp = static_cast<std::uint8_t>(rng.next_below(4) << 3);
     header.identification = next_id++;
+    // narrow-ok: ctor requires payload <= kMaxPayloadBytes, so the sum
+    // fits the 16-bit wire field
     header.total_length = static_cast<std::uint16_t>(
         net::Ipv4Header::kSize + frame.payload_bytes);
-    header.ttl = rng.next_bool(config_.expiring_ttl_fraction)
-                     ? static_cast<std::uint8_t>(rng.next_below(2))
-                     : static_cast<std::uint8_t>(rng.next_in(2, 64));
+    // narrow-ok: both branches are bounded by 64
+    header.ttl = static_cast<std::uint8_t>(
+        rng.next_bool(config_.expiring_ttl_fraction) ? rng.next_below(2)
+                                                     : rng.next_in(2, 64));
     header.checksum = header.compute_checksum();
     if (rng.next_bool(config_.corrupt_fraction)) {
+      // narrow-ok: uint16 ^ uint16 after integer promotion, < 2^16
       header.checksum = static_cast<std::uint16_t>(header.checksum ^ 0x5555);
     }
     frames.push_back(frame);

@@ -21,13 +21,19 @@ struct IngressFrame {
   std::uint16_t payload_bytes = 0;
 };
 
+/// Largest payload that still fits the 16-bit IPv4 total_length field
+/// next to the 20-byte header. FrameGenerator rejects configs above it.
+inline constexpr std::uint16_t kMaxPayloadBytes = 0xffff -
+                                                  net::Ipv4Header::kSize;
+
 struct FrameGenConfig {
   net::TrafficConfig traffic;
   /// Probability of a corrupted checksum (parser must drop).
   double corrupt_fraction = 0.0;
   /// Probability of an arriving TTL <= 1 (parser must drop).
   double expiring_ttl_fraction = 0.0;
-  /// IMIX-ish payload sizes (bytes) and their weights.
+  /// IMIX-ish payload sizes (bytes, <= kMaxPayloadBytes each) and their
+  /// weights.
   std::vector<std::uint16_t> payload_sizes = {20, 556, 1480};
   std::vector<double> payload_weights = {7.0, 4.0, 1.0};
 };

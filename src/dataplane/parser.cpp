@@ -13,6 +13,8 @@ std::optional<ParsedPacket> Parser::parse(
     ++stats_.bad_checksum;
     return std::nullopt;
   }
+  // narrow-ok: Ipv4Header::parse rejects total_length < kSize, so the
+  // difference is a non-negative value below 2^16
   const auto payload = static_cast<std::uint16_t>(
       header->total_length - net::Ipv4Header::kSize);
   return accept_validated(vnid, *header, payload);

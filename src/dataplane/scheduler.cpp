@@ -51,6 +51,7 @@ bool DrrScheduler::enqueue(const ForwardedPacket& packet,
     return false;
   }
   queue.push_back(QueuedPacket{
+      // narrow-ok: total_bytes = 20-byte header + uint16 payload < 2^17
       cycle, packet.vnid, static_cast<std::uint32_t>(packet.total_bytes())});
   ++stats_.enqueued;
   queue_depth_hist_.observe(static_cast<double>(queue.size()));

@@ -147,7 +147,7 @@ std::optional<net::NextHop> PartitionedTrie::lookup(net::Ipv4 addr) const {
 std::uint64_t PartitionedTrie::index_bits() const noexcept {
   const unsigned entry_bits =
       address_bits(config_.pipeline_count) + 18u /*root ptr*/ + 8u /*NHI*/;
-  return static_cast<std::uint64_t>(index_.size()) * entry_bits;
+  return std::uint64_t{index_.size()} * entry_bits;
 }
 
 std::size_t PartitionedTrie::pipeline_nodes(std::size_t p) const {

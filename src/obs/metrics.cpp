@@ -16,8 +16,9 @@ std::size_t bucket_of(double value) noexcept {
   // 2^63 and above (including +inf) land in the last bucket.
   if (value >= 9.223372036854775808e18) return kHistogramBuckets - 1;
   const auto magnitude = static_cast<std::uint64_t>(value);
-  const auto index = static_cast<std::size_t>(std::bit_width(magnitude));
-  return std::min(index, kHistogramBuckets - 1);
+  // bit_width of a uint64 is at most 64, so the narrowing is exact.
+  const auto index = static_cast<unsigned>(std::bit_width(magnitude));
+  return std::min<std::size_t>(index, kHistogramBuckets - 1);
 }
 
 /// Inclusive value range covered by a bucket.

@@ -66,7 +66,7 @@ struct HistogramSnapshot {
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
 
   [[nodiscard]] std::uint64_t count() const noexcept {
-    return static_cast<std::uint64_t>(stats.count());
+    return std::uint64_t{stats.count()};
   }
 
   /// Approximate q-quantile (q in [0,1]) by linear interpolation inside

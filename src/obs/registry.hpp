@@ -88,7 +88,7 @@ class Registry {
   mutable std::mutex mu_;
   /// Keyed by name + rendered labels; unique_ptr keeps references stable
   /// across rehash/rebalance.
-  std::map<std::string, std::unique_ptr<Metric>> metrics_;
+  std::map<std::string, std::unique_ptr<Metric>> metrics_;  // guarded_by(mu_)
 };
 
 }  // namespace vr::obs

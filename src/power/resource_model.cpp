@@ -10,7 +10,7 @@ namespace {
 void fill_logic(SchemeResources& r) {
   const auto pe = fpga::XpeTables::pe_footprint();
   const std::uint64_t stages =
-      static_cast<std::uint64_t>(r.engines) * r.stages_per_engine;
+      std::uint64_t{r.engines} * r.stages_per_engine;
   r.luts = pe.total_luts() * stages;
   r.flip_flops = pe.slice_registers * stages;
 }
@@ -31,9 +31,9 @@ SchemeResources replicated_resources(Scheme scheme,
   r.engines = vn_count;
   r.stages_per_engine = per_vn_memory.stage_count();
   r.pointer_bits = units::Bits{per_vn_memory.total_pointer_bits() *
-                               static_cast<std::uint64_t>(vn_count)};
+                               std::uint64_t{vn_count}};
   r.nhi_bits = units::Bits{per_vn_memory.total_nhi_bits() *
-                           static_cast<std::uint64_t>(vn_count)};
+                           std::uint64_t{vn_count}};
   fill_logic(r);
 
   // BRAM plan of one device: NV has one engine per device, VS stacks all K.

@@ -106,6 +106,7 @@ struct FlatMultibitTrie::Builder {
           (node_base + base + i) * image.vn_count_ + vn;
       if (image.next_hops_[e] == net::kNoRoute || route_lens[e] <= length) {
         image.next_hops_[e] = route.next_hop;
+        // narrow-ok: an IPv4 prefix length is at most 32
         route_lens[e] = static_cast<std::uint8_t>(length);
       }
     }
@@ -147,6 +148,7 @@ FlatMultibitTrie::FlatMultibitTrie(const MultibitTrie& trie)
   children_.reserve(nodes * width_);
   next_hops_.reserve(nodes * width_);
   for (std::size_t n = 0; n < nodes; ++n) {
+    // narrow-ok: n < nodes <= kMaxNodeCount (VR_REQUIRE above the loop)
     const auto index = static_cast<NodeIndex>(n);
     for (std::size_t slot = 0; slot < width_; ++slot) {
       children_.push_back(trie.entry_child(index, slot));

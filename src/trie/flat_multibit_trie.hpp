@@ -104,7 +104,7 @@ class FlatMultibitTrie {
   [[nodiscard]] std::uint64_t memory_bits(unsigned pointer_bits = 18,
                                           unsigned nhi_bits = 8) const
       noexcept {
-    return static_cast<std::uint64_t>(entry_count()) *
+    return std::uint64_t{entry_count()} *
            (pointer_bits + nhi_bits * vn_count_);
   }
 

@@ -16,6 +16,7 @@ MultibitTrie::MultibitTrie(const net::RoutingTable& table, unsigned stride)
 
 NodeIndex MultibitTrie::allocate_node(std::size_t level) {
   const NodeIndex index = checked_node_index(nodes_.size(), "multibit trie");
+  // narrow-ok: level <= 32 / stride (IPv4 depth)
   nodes_.push_back(static_cast<std::uint8_t>(level));
   entries_.insert(entries_.end(), entries_per_node(), Entry{});
   if (level_node_counts_.size() <= level) {
@@ -67,6 +68,7 @@ void MultibitTrie::insert(const net::Route& route) {
     Entry& e = entry(current, base + i);
     if (e.next_hop == net::kNoRoute || e.route_len <= length) {
       e.next_hop = route.next_hop;
+      // narrow-ok: an IPv4 prefix length is at most 32
       e.route_len = static_cast<std::uint8_t>(length);
     }
   }

@@ -50,8 +50,7 @@ class MultibitTrie {
   [[nodiscard]] std::uint64_t memory_bits(unsigned pointer_bits = 18,
                                           unsigned nhi_bits = 8) const
       noexcept {
-    return static_cast<std::uint64_t>(entry_count()) *
-           (pointer_bits + nhi_bits);
+    return std::uint64_t{entry_count()} * (pointer_bits + nhi_bits);
   }
 
   /// Per-level memory bits (for stage-mapped power evaluation).

@@ -90,7 +90,8 @@ class SnapshotPublisher {
   unsigned stride_;
   UpdatableTrie control_;  // writer-owned control-plane state
 
-  mutable std::mutex publish_mutex_;  // guards current_ (and orders version_)
+  mutable std::mutex publish_mutex_;  // also orders version_ stores
+  // guarded_by(publish_mutex_)
   std::shared_ptr<const FlatMultibitTrie> current_;
   std::atomic<std::uint64_t> version_{0};
 };

@@ -23,7 +23,7 @@ NodeIndex UpdatableTrie::allocate(unsigned depth) {
     free_list_.pop_back();
     nodes_[index] = Node{};
   } else {
-    index = static_cast<NodeIndex>(nodes_.size());
+    index = checked_node_index(nodes_.size(), "updatable trie");
     nodes_.push_back(Node{});
   }
   ++live_nodes_;

@@ -413,6 +413,20 @@ TEST_F(FrameGenFixture, ValidFramesHaveGoodChecksums) {
   }
 }
 
+TEST_F(FrameGenFixture, OversizedPayloadIsRejected) {
+  // A payload above kMaxPayloadBytes would wrap the 16-bit total_length
+  // wire field; the constructor must reject it instead of emitting frames
+  // whose length field silently disagrees with the payload.
+  FrameGenConfig config;
+  config.traffic.cycles = 100;
+  config.payload_sizes = {kMaxPayloadBytes};
+  config.payload_weights = {1.0};
+  EXPECT_NO_FATAL_FAILURE(FrameGenerator(config, ptrs_));
+  config.payload_sizes = {static_cast<std::uint16_t>(kMaxPayloadBytes + 1)};
+  EXPECT_DEATH(FrameGenerator(config, ptrs_),
+               "payload size overflows the 16-bit total_length field");
+}
+
 TEST_F(FrameGenFixture, CorruptFractionProducesBadChecksums) {
   FrameGenConfig config;
   config.traffic.cycles = 6000;

@@ -1,0 +1,6 @@
+// Fixture: bench/ is scanned too. Expected: one determinism finding.
+#include <cstdlib>
+
+int fixture_bench_seed() {
+  return std::rand();  // FINDING: rand() in a bench harness
+}

@@ -1,0 +1,19 @@
+#include "clean_control.hpp"
+
+namespace vr::core {
+
+void CleanControl::record(std::uint64_t value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  history_[value] += 1;
+}
+
+std::uint64_t CleanControl::total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [value, count] : history_) {  // std::map: ordered, clean
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace vr::core

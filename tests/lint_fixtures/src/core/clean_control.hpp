@@ -1,0 +1,23 @@
+// Fixture: clean control — the same shapes as the bad fixtures, in their
+// compliant form. Expected: no findings. Guards the selftest against
+// checks "passing" by firing on everything.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace vr::core {
+
+class CleanControl {
+ public:
+  void record(std::uint64_t value);
+  [[nodiscard]] std::uint64_t total() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::uint64_t> history_;  // guarded_by(mu_)
+  double utilization_ = 0.0;  // dimensionless: no unit type needed
+};
+
+}  // namespace vr::core

@@ -1,0 +1,37 @@
+// Fixture: determinism check. Expected: five findings — srand,
+// random_device, time(nullptr), system_clock::now, and one range-for
+// over an unordered_map. The second range-for is escaped.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace vr::dataplane {
+
+std::unordered_map<int, int> fixture_counts;
+
+void fixture_entropy() {
+  std::srand(42);                                // FINDING: srand
+  std::random_device rd;                         // FINDING: random_device
+  long stamp = std::time(nullptr);               // FINDING: time as entropy
+  auto wall = std::chrono::system_clock::now();  // FINDING: wall clock
+  (void)rd;
+  (void)stamp;
+  (void)wall;
+}
+
+int fixture_iterate() {
+  int total = 0;
+  for (const auto& [key, value] : fixture_counts) {  // FINDING: hash order
+    total += value;
+  }
+  // det-ok: the sum is order-insensitive
+  for (const auto& [key, value] : fixture_counts) {
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace vr::dataplane

@@ -1,0 +1,8 @@
+// Fixture: include-hygiene check. Expected: two findings.
+#pragma once
+
+#include <iostream>  // FINDING: <iostream> in a header
+
+using namespace std;  // FINDING: namespace leak into every includer
+
+inline void fixture_print(int value) { cout << value << '\n'; }

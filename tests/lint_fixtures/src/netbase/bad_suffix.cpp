@@ -1,0 +1,13 @@
+// Fixture: units check, suffix mode (src/netbase is not a typed layer).
+// Expected: one finding on link_throughput; rx_power_w carries its unit
+// suffix and is clean.
+
+namespace vr::net {
+
+double fixture_sum() {
+  double link_throughput = 2.5;  // FINDING: no unit suffix
+  double rx_power_w = 1.25;
+  return link_throughput + rx_power_w;
+}
+
+}  // namespace vr::net

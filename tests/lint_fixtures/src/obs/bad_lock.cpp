@@ -1,0 +1,16 @@
+#include "bad_lock.hpp"
+
+namespace vr::obs {
+
+void FixtureGuarded::bump_unlocked_bug() {
+  counter_ += 1;  // FINDING: no lock taken, no _locked contract
+}
+
+void FixtureGuarded::bump_properly() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counter_ += 1;
+}
+
+std::int64_t FixtureGuarded::total_locked() const { return counter_; }
+
+}  // namespace vr::obs

@@ -1,0 +1,23 @@
+// Fixture: lock-discipline check. counter_ is guarded by mu_; the
+// companion .cpp touches it in one function without the lock (one
+// expected finding) and in compliant ways everywhere else.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace vr::obs {
+
+class FixtureGuarded {
+ public:
+  FixtureGuarded() = default;
+  void bump_unlocked_bug();
+  void bump_properly();
+  [[nodiscard]] std::int64_t total_locked() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t counter_ = 0;  // guarded_by(mu_)
+};
+
+}  // namespace vr::obs

@@ -1,0 +1,20 @@
+// Fixture: metrics check. Expected: two findings here (an unlisted
+// literal name and a dynamically composed name) plus one stale entry
+// flagged in the fixture manifest. The escaped dynamic call is clean.
+
+#include <string>
+
+namespace vr::obs {
+
+class Registry;
+
+void fixture_register(Registry& obs_registry,
+                      const std::string& dynamic_name) {
+  obs_registry.counter("fixture.known");     // in the manifest: clean
+  obs_registry.counter("fixture.unlisted");  // FINDING: not in the manifest
+  obs_registry.counter(dynamic_name);        // FINDING: dynamic name
+  // metric-ok: per-fixture naming scheme exercised by the selftest
+  obs_registry.counter(dynamic_name);
+}
+
+}  // namespace vr::obs

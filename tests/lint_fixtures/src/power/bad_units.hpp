@@ -1,0 +1,14 @@
+// Fixture: units check, typed-header mode (src/power is a typed layer).
+// Expected: one finding on idle_power; calib_power is escaped and alpha
+// is dimensionless.
+#pragma once
+
+namespace vr::power {
+
+struct FixtureModel {
+  double idle_power;   // FINDING: dimensioned naked double in typed header
+  double calib_power;  // units-ok: calibration scratch value for the fixture
+  double alpha = 0.5;  // dimensionless: clean
+};
+
+}  // namespace vr::power

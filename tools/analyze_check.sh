@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The GCC deep-analysis prong: configure a dedicated build tree with
+# -DVR_ANALYZE=ON (GCC -fanalyzer + escalated warnings-as-errors on src/)
+# and compile the library targets. Any analyzer finding or escalated
+# warning fails the build and therefore this script.
+#
+# Tests, benches and examples are off: the analyzer's bar applies to src/
+# only, and skipping them roughly halves the gate's wall time.
+#
+# Usage: tools/analyze_check.sh [build-dir]
+#   build-dir  analysis build tree (default: <repo>/build-analyze)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-analyze}"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DVR_ANALYZE=ON \
+  -DVRPOWER_BUILD_TESTS=OFF \
+  -DVRPOWER_BUILD_BENCH=OFF \
+  -DVRPOWER_BUILD_EXAMPLES=OFF \
+  > "${build_dir}.configure.log" 2>&1 || {
+    cat "${build_dir}.configure.log" >&2
+    echo "analyze_check: configure FAILED" >&2
+    exit 1
+  }
+rm -f "${build_dir}.configure.log"
+
+jobs="$(nproc 2> /dev/null || echo 2)"
+cmake --build "${build_dir}" -j "${jobs}" || {
+  echo "analyze_check: FAILED (-fanalyzer or escalated warnings fired)" >&2
+  exit 1
+}
+echo "analyze_check: clean"

@@ -55,10 +55,16 @@ def diff(a, b, path: str, opts, failures: list) -> None:
     if isinstance(a, dict):
         for key in sorted(set(a) | set(b)):
             sub = f"{path}.{key}" if path else key
+            # A one-sided `metrics` subtree is still just metrics: skip it
+            # under the default exclusion instead of failing the shape.
+            if not opts.include_metrics and sub == "metrics":
+                continue
             if key not in a:
-                failures.append(f"{sub}: only in second file")
+                failures.append(f"{sub}: only in {opts.second} — missing "
+                                f"from the baseline {opts.first}")
             elif key not in b:
-                failures.append(f"{sub}: only in first file")
+                failures.append(f"{sub}: only in {opts.first} — missing "
+                                f"from the candidate {opts.second}")
             else:
                 diff(a[key], b[key], sub, opts, failures)
         return
@@ -99,6 +105,12 @@ def main() -> int:
                 docs.append(json.load(f))
         except (OSError, json.JSONDecodeError) as exc:
             print(f"error: {name}: {exc}", file=sys.stderr)
+            return 2
+    for name, doc in zip((opts.first, opts.second), docs):
+        if not isinstance(doc, dict):
+            print(f"error: {name}: top-level JSON value must be an object "
+                  f"(a BENCH_*.json report), got {type(doc).__name__}",
+                  file=sys.stderr)
             return 2
 
     failures: list = []

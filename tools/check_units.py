@@ -1,145 +1,20 @@
 #!/usr/bin/env python3
-"""Project-specific unit lint for the vrpower tree.
-
-Three rules, all about keeping physical quantities honest:
-
-1. Typed boundary (src/{power,core,fpga,pipeline,multipipe,tcam}/*.hpp):
-   headers of the power-model layers must not declare naked-`double`
-   parameters, members, or return types that carry a physical dimension
-   (power, frequency, energy, throughput, memory size). Those must use
-   the strong quantity types from common/units.hpp (units::Watts,
-   units::Megahertz, units::Bits, ...). Dimensionless quantities
-   (utilizations, alpha, percentages, rates) stay `double`.
-
-2. Typed return types (.cpp files of the same layers): a function
-   *definition* returning naked `double` with a dimensioned name is a
-   boundary leak even when it only appears in the implementation file.
-
-3. Suffix convention (everything else under src/, including `double`
-   locals in typed-layer .cpp files): a `double` whose name mentions a
-   dimensioned concept must spell its unit as a suffix (`power_w`,
-   `freq_mhz`, `throughput_gbps`, ...) so readers and future migrations
-   know what the number means.
-
-A declaration can be exempted with an inline comment on the same or the
-preceding line:
-
-    double weird_power;  // units-ok: calibration scratch value
+"""Back-compat shim: the unit lint moved into tools/vrlint as the `units`
+check (same three rules, same `units-ok` escape — see
+tools/vrlint/checks/units.py for the rules and rationale). This entry
+point keeps existing invocations (docs, muscle memory, CI configs)
+working by running exactly that one check.
 
 Run:  tools/check_units.py [--root DIR]
 Exit: 0 clean, 1 violations found, 2 usage error.
 """
 
-import argparse
-import pathlib
-import re
+import os
+import runpy
 import sys
 
-# Layers whose headers must use units:: quantity types end-to-end.
-TYPED_DIRS = {"power", "core", "fpga", "pipeline", "multipipe", "tcam", "obs"}
-
-# Concepts that imply a physical dimension when they appear in a name.
-DIMENSIONED = re.compile(
-    r"(?:^|_)(power|freq|frequency|energy|watt|watts|throughput|"
-    r"duration|latency|elapsed)(?:_|$)|"
-    r"_(w|mw|uw|mhz|ghz|pj|gbps|mbps|bits|kbits|joules)$"
-)
-
-# Unit suffixes that satisfy rule 3 (and names that *are* unit words,
-# e.g. the conversion-helper parameters in common/units.hpp).
-SUFFIX_OK = re.compile(
-    r"_(w|mw|uw|mhz|ghz|hz|j|pj|pj_per_cycle|gbps|mbps|bits|kbits|bytes|"
-    r"pct|percent|ns|us|ms|s|seconds|per_second|per_cycle|per_mhz)$"
-)
-UNIT_WORDS = {
-    "watts", "milliwatts", "microwatts", "megahertz", "picojoules",
-    "cycles", "gbps", "coefficient", "packet_bytes",
-}
-
-# `double name` as a parameter, member, or local. Keeps to single
-# declarations; good enough for this codebase's style (one declaration
-# per line).
-DOUBLE_DECL = re.compile(r"\bdouble\s+(?:&\s*)?([A-Za-z_][A-Za-z0-9_]*)")
-
-# `double Klass::fn(` / `double fn(` — a function definition or
-# declaration returning naked double.
-RETURN_DECL = re.compile(
-    r"\bdouble\s+(?:[A-Za-z_][A-Za-z0-9_]*::)*([A-Za-z_][A-Za-z0-9_]*)\s*\("
-)
-
-SUPPRESS = re.compile(r"//\s*units-ok\b")
-
-
-def strip_comment(line: str) -> str:
-    return line.split("//", 1)[0]
-
-
-def lint_file(path: pathlib.Path, mode: str) -> list[str]:
-    """Lint one file. mode: 'typed-header', 'typed-impl', or 'suffix'."""
-    problems = []
-    lines = path.read_text().splitlines()
-    for i, raw in enumerate(lines):
-        if SUPPRESS.search(raw) or (i > 0 and SUPPRESS.search(lines[i - 1])):
-            continue
-        code = strip_comment(raw)
-        return_names = {m.group(1) for m in RETURN_DECL.finditer(code)}
-        for m in DOUBLE_DECL.finditer(code):
-            name = m.group(1)
-            if name in UNIT_WORDS:
-                continue
-            if not DIMENSIONED.search(name):
-                continue
-            typed_violation = mode == "typed-header" or (
-                mode == "typed-impl" and name in return_names
-            )
-            if typed_violation:
-                problems.append(
-                    f"{path}:{i + 1}: naked-double dimensioned quantity "
-                    f"'{name}' in a typed layer — use a units:: quantity "
-                    f"type (or annotate '// units-ok: <reason>')"
-                )
-            elif not SUFFIX_OK.search(name):
-                problems.append(
-                    f"{path}:{i + 1}: dimensioned double '{name}' has no "
-                    f"unit suffix (expected e.g. '{name}_w', '{name}_mhz')"
-                )
-    return problems
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", default=None,
-                        help="repository root (default: parent of tools/)")
-    args = parser.parse_args()
-
-    root = pathlib.Path(args.root) if args.root else \
-        pathlib.Path(__file__).resolve().parent.parent
-    src = root / "src"
-    if not src.is_dir():
-        print(f"check_units: no src/ under {root}", file=sys.stderr)
-        return 2
-
-    problems = []
-    for path in sorted(list(src.rglob("*.hpp")) + list(src.rglob("*.cpp"))):
-        rel = path.relative_to(src)
-        typed = rel.parts[0] in TYPED_DIRS
-        # units.hpp itself defines the raw conversion helpers.
-        if rel == pathlib.Path("common/units.hpp"):
-            typed = False
-        if typed:
-            mode = "typed-header" if path.suffix == ".hpp" else "typed-impl"
-        else:
-            mode = "suffix"
-        problems += lint_file(path, mode)
-
-    for p in problems:
-        print(p)
-    if problems:
-        print(f"check_units: {len(problems)} violation(s)", file=sys.stderr)
-        return 1
-    print("check_units: clean")
-    return 0
-
-
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.argv = [sys.argv[0], "--checks", "units"] + sys.argv[1:]
+    runpy.run_path(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "vrlint"),
+        run_name="__main__")

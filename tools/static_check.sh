@@ -1,41 +1,72 @@
 #!/usr/bin/env bash
-# The project static-analysis gate:
+# The project static-analysis gate, three prongs:
 #
-#   1. tools/check_units.py  — the unit lint (always runs; pure python3).
-#   2. clang-tidy over src/  — runs when clang-tidy is on PATH and a
-#      compile_commands.json exists; skipped with a notice otherwise
-#      (this container ships gcc only — the gate must not silently rot,
-#      but it also must not fail on a toolchain it cannot fix).
+#   1. vrlint             — the project-native lint framework
+#                           (tools/vrlint: units, determinism, narrowing,
+#                           lock-discipline, metrics registry, include
+#                           hygiene). Always runs; pure python3.
+#   2. gcc-analyze        — tools/analyze_check.sh: a -DVR_ANALYZE=ON build
+#                           (GCC -fanalyzer + escalated warnings-as-errors
+#                           on src/). Runs when g++ >= 12 is available;
+#                           skipped with a notice otherwise.
+#   3. clang-tidy         — runs when clang-tidy is on PATH and a
+#                           compile_commands.json exists; skipped with a
+#                           notice otherwise (this container ships gcc only
+#                           — the gate must not silently rot, but it also
+#                           must not fail on a toolchain it cannot fix).
+#
+# A one-line PASS/SKIP/FAIL summary per prong is printed at the end.
 #
 # Usage: tools/static_check.sh [build-dir]
-#   build-dir  where compile_commands.json lives (default: build)
-set -euo pipefail
+#   build-dir  where compile_commands.json lives (default: build); the
+#              gcc-analyze prong uses its own tree (<build-dir>-analyze).
+set -uo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
-status=0
 
-echo "== static gate: unit lint =="
-python3 "${repo_root}/tools/check_units.py" --root "${repo_root}" || status=1
+vrlint_status=FAIL
+analyze_status=FAIL
+tidy_status=FAIL
+
+echo "== static gate: vrlint =="
+if python3 "${repo_root}/tools/vrlint" --root "${repo_root}"; then
+  vrlint_status=PASS
+fi
+
+echo "== static gate: gcc-analyze =="
+gxx_major="$(g++ -dumpversion 2> /dev/null | cut -d. -f1 || true)"
+if [[ -z "${gxx_major}" || "${gxx_major}" -lt 12 ]]; then
+  echo "SKIP: g++ >= 12 not found — the -fanalyzer prong did not run" \
+       "(vrlint still gates)."
+  analyze_status=SKIP
+elif "${repo_root}/tools/analyze_check.sh" "${build_dir}-analyze"; then
+  analyze_status=PASS
+fi
 
 echo "== static gate: clang-tidy =="
 if ! command -v clang-tidy > /dev/null 2>&1; then
   echo "SKIP: clang-tidy not installed — the tidy prong did not run" \
-       "(unit lint still gates)."
+       "(vrlint and gcc-analyze still gate)."
+  tidy_status=SKIP
 elif [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   echo "no ${build_dir}/compile_commands.json — configure with" \
        "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first." >&2
-  status=1
 else
   mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
   if command -v run-clang-tidy > /dev/null 2>&1; then
-    run-clang-tidy -p "${build_dir}" -quiet "${sources[@]}" || status=1
+    run-clang-tidy -p "${build_dir}" -quiet "${sources[@]}" && tidy_status=PASS
   else
-    clang-tidy -p "${build_dir}" --quiet "${sources[@]}" || status=1
+    clang-tidy -p "${build_dir}" --quiet "${sources[@]}" && tidy_status=PASS
   fi
 fi
 
-if [[ ${status} -ne 0 ]]; then
+echo "== static gate summary =="
+echo "  vrlint:      ${vrlint_status}"
+echo "  gcc-analyze: ${analyze_status}"
+echo "  clang-tidy:  ${tidy_status}"
+if [[ "${vrlint_status}" == FAIL || "${analyze_status}" == FAIL ||
+      "${tidy_status}" == FAIL ]]; then
   echo "static_check: FAILED" >&2
   exit 1
 fi

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Self-test for tools/bench_diff.py, pytest-style.
+
+Each test_* function exercises one contract of the diff tool through the
+real CLI (subprocess): tolerance math, shape mismatches with clear
+per-key messages (never a traceback), the metrics-subtree exclusion, and
+top-level validation.
+
+Run:  python3 tools/test_bench_diff.py    (or under pytest)
+Exit: 0 all pass, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+TOOL = pathlib.Path(__file__).resolve().parent / "bench_diff.py"
+
+BASE = {
+    "benchmark": "perf_fixture",
+    "rows": [{"scheme": "separate", "power_w": 10.0},
+             {"scheme": "merged", "power_w": 6.0}],
+    "metrics": {"wall_ns": 123456},
+}
+
+
+def run_diff(first, second, *argv):
+    """Writes the two documents to temp files and runs bench_diff.py."""
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        for name, doc in (("first.json", first), ("second.json", second)):
+            path = pathlib.Path(tmp) / name
+            path.write_text(doc if isinstance(doc, str) else json.dumps(doc))
+            paths.append(str(path))
+        return subprocess.run(
+            [sys.executable, str(TOOL), *paths, *argv],
+            capture_output=True, text=True, check=False)
+
+
+def edited(**top_level):
+    doc = json.loads(json.dumps(BASE))
+    doc.update(top_level)
+    return doc
+
+
+def test_identical_reports_agree():
+    proc = run_diff(BASE, BASE)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "agree" in proc.stdout
+
+
+def test_within_tolerance_passes_and_beyond_fails():
+    rows = [{"scheme": "separate", "power_w": 10.4},
+            {"scheme": "merged", "power_w": 6.0}]
+    assert run_diff(BASE, edited(rows=rows)).returncode == 0  # 4% < 5%
+    rows[0]["power_w"] = 11.0                                 # ~9% > 5%
+    proc = run_diff(BASE, edited(rows=rows))
+    assert proc.returncode == 1
+    assert "rows[0].power_w" in proc.stdout
+
+
+def test_missing_top_level_key_names_the_key_and_file():
+    second = edited()
+    del second["rows"]
+    proc = run_diff(BASE, second)
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "Traceback" not in proc.stderr
+    assert "rows: only in" in proc.stdout
+    assert "first.json" in proc.stdout
+
+
+def test_extra_top_level_key_names_the_key_and_file():
+    proc = run_diff(BASE, edited(surprise=1))
+    assert proc.returncode == 1
+    assert "surprise: only in" in proc.stdout
+    assert "second.json" in proc.stdout
+
+
+def test_metrics_subtree_skipped_by_default_even_one_sided():
+    noisy = edited(metrics={"wall_ns": 999999999, "cache_hits": 7})
+    assert run_diff(BASE, noisy).returncode == 0
+    bare = edited()
+    del bare["metrics"]
+    assert run_diff(BASE, bare).returncode == 0
+    assert run_diff(bare, BASE).returncode == 0
+    proc = run_diff(BASE, noisy, "--include-metrics")
+    assert proc.returncode == 1
+    assert "metrics" in proc.stdout
+
+
+def test_identity_fields_must_match_exactly():
+    rows = [{"scheme": "renamed", "power_w": 10.0},
+            {"scheme": "merged", "power_w": 6.0}]
+    proc = run_diff(BASE, edited(rows=rows))
+    assert proc.returncode == 1
+    assert "rows[0].scheme" in proc.stdout
+
+
+def test_non_object_top_level_is_a_usage_error():
+    proc = run_diff([1, 2, 3], BASE)
+    assert proc.returncode == 2
+    assert "must be an object" in proc.stderr
+    assert "Traceback" not in proc.stderr
+
+
+def test_malformed_json_is_a_usage_error():
+    proc = run_diff("{not json", BASE)
+    assert proc.returncode == 2
+    assert "Traceback" not in proc.stderr
+
+
+def main() -> int:
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"  PASS {name}")
+        except AssertionError as exc:
+            failed += 1
+            print(f"  FAIL {name}: {exc}")
+    print(f"test_bench_diff: {len(tests) - failed}/{len(tests)} passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""vrlint driver — run the project-native static checks.
+
+Usage:
+    python3 tools/vrlint --root .                 # all checks
+    python3 tools/vrlint --root . --checks units,narrowing
+    python3 tools/vrlint --list                   # what exists
+    python3 tools/vrlint --root X --json          # machine-readable
+
+Exit codes: 0 clean, 1 violations, 2 usage error — matching the other
+tools/ gates so ctest and static_check.sh treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+import checks  # noqa: F401  (importing registers every check)
+import core
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="vrlint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="tree to scan (default: the repo containing "
+                             "this tool)")
+    parser.add_argument("--checks", default=None, metavar="A,B,...",
+                        help="comma-separated subset of checks to run")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered checks and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array (for the "
+                             "fixture self-test)")
+    args = parser.parse_args()
+
+    if args.list:
+        for name, check in sorted(core.all_checks().items()):
+            print(f"{name:16s} {check.description}")
+        return 0
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent.parent
+    if not (root / "src").is_dir():
+        print(f"vrlint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    names = args.checks.split(",") if args.checks else None
+    try:
+        findings, file_count = core.run_checks(root, names)
+    except KeyError as exc:
+        known = ", ".join(sorted(core.all_checks()))
+        print(f"vrlint: unknown check(s) {exc} — known: {known}",
+              file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps([vars(f) for f in findings], indent=2))
+        return 1 if findings else 0
+
+    for finding in findings:
+        print(finding.render())
+    check_count = len(names) if names else len(core.all_checks())
+    if findings:
+        print(f"vrlint: {len(findings)} violation(s) from {check_count} "
+              f"check(s) over {file_count} files", file=sys.stderr)
+        return 1
+    print(f"vrlint: clean ({check_count} checks, {file_count} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

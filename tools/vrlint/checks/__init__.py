@@ -1,0 +1,11 @@
+"""Check modules. Importing this package registers every check; to add
+one in a future PR, drop a module here, decorate its class with
+``@core.register``, and list it below (plus a fixture pair under
+``tests/lint_fixtures/`` — the self-test asserts exact counts)."""
+
+from checks import determinism  # noqa: F401
+from checks import include_hygiene  # noqa: F401
+from checks import lock_discipline  # noqa: F401
+from checks import metrics_registry  # noqa: F401
+from checks import narrowing  # noqa: F401
+from checks import units  # noqa: F401

@@ -1,0 +1,89 @@
+"""determinism — experiments must be bit-reproducible.
+
+Every stochastic component is seeded through ``vr::SplitMix64`` /
+``vr::Rng`` (common/rng.hpp) and `derive_seed`-style expansion
+(DESIGN.md §13) so goldens, bench JSON, and the placement controller's
+competitive-ratio experiments stay byte-stable. Two rules over src/ and
+bench/:
+
+1. Banned nondeterminism sources: ``rand()``/``srand()``,
+   ``std::random_device``, ``time(...)`` as an entropy source,
+   ``system_clock::now`` (wall-clock time reaching model output;
+   steady_clock for *measuring* durations is fine and untouched).
+2. Unordered-container iteration: range-for over a name declared as
+   ``std::unordered_map``/``set`` in the same file. Hash-order is
+   platform- and libstdc++-version-dependent, so anything it feeds
+   (output rows, accumulated floats, metric emission order) silently
+   diverges across toolchains.
+
+Escape: ``// det-ok: <reason>`` — e.g. a sort immediately downstream,
+or output proven order-insensitive.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+import core
+
+BANNED = [
+    (re.compile(r"(?<!\w)(?:std\s*::\s*)?s?rand\s*\("),
+     "rand()/srand() — use vr::Rng seeded via SplitMix64 (common/rng.hpp)"),
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device is nondeterministic entropy — seeds must be "
+     "explicit and derived via SplitMix64"),
+    (re.compile(r"(?<!\w)(?:std\s*::\s*)?time\s*\(\s*(?:NULL\b|nullptr\b|0|&)"),
+     "time() as an entropy/seed source breaks bit-reproducibility"),
+    (re.compile(r"\bsystem_clock::now\b"),
+     "wall-clock time in a model/output path — use steady_clock for "
+     "durations, explicit seeds for entropy"),
+]
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+"
+    r"([A-Za-z_]\w*)\s*(?:;|=|\{|\()")
+
+
+@core.register
+class DeterminismCheck(core.Check):
+    name = "determinism"
+    description = ("no rand()/time()/random_device entropy; no "
+                   "unordered-container iteration feeding outputs")
+
+    def run(self, tree: core.SourceTree) -> Iterable[core.Finding]:
+        for f in tree.in_dirs("src", "bench"):
+            # Names declared as unordered containers anywhere in this
+            # file (header members count for the companion .cpp too).
+            names = set()
+            for source in filter(None, (f, tree.companion(f))):
+                for line in source.lines:
+                    code = core.strip_comment(line)
+                    names.update(
+                        m.group(1) for m in UNORDERED_DECL.finditer(code))
+            iter_re = None
+            if names:
+                iter_re = re.compile(
+                    r"\bfor\s*\([^;)]*:\s*(?:[\w.\->]+[.\->])?("
+                    + "|".join(re.escape(n) for n in sorted(names))
+                    + r")\b[^;]*\)")
+            for i, raw in enumerate(f.lines):
+                if f.suppressed(i, "det-ok"):
+                    continue
+                code = core.strip_comment(raw)
+                for pattern, why in BANNED:
+                    if pattern.search(code):
+                        yield core.Finding(
+                            self.name, f.rel, i + 1,
+                            f"nondeterministic source: {why} (or annotate "
+                            f"'// det-ok: <reason>')")
+                if iter_re:
+                    m = iter_re.search(code)
+                    if m:
+                        yield core.Finding(
+                            self.name, f.rel, i + 1,
+                            f"iteration over unordered container "
+                            f"'{m.group(1)}' — hash order is platform-"
+                            f"dependent; iterate a sorted view or annotate "
+                            f"'// det-ok: <reason>' if order cannot reach "
+                            f"any output")

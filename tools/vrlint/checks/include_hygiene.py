@@ -1,0 +1,50 @@
+"""include-hygiene — headers stay lean and namespace-clean.
+
+Two rules over every header in src/:
+
+1. No ``#include <iostream>`` in a header: it drags the static
+   ``std::ios_base::Init`` object into every translation unit and
+   couples library headers to global stream state. Use ``<ostream>``
+   (to format into a caller's stream), ``<iosfwd>`` (declarations
+   only), or include iostream in the .cpp that actually prints.
+2. No ``using namespace`` at any scope in a header: it leaks the
+   namespace into every includer, which is exactly how cross-library
+   name collisions start.
+
+Escape: ``// include-ok: <reason>`` (rarely justified).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+import core
+
+IOSTREAM = re.compile(r"#\s*include\s*<iostream>")
+USING_NAMESPACE = re.compile(r"\busing\s+namespace\b")
+
+
+@core.register
+class IncludeHygieneCheck(core.Check):
+    name = "include-hygiene"
+    description = ("src/ headers: no <iostream> include, no "
+                   "using-namespace leaks")
+
+    def run(self, tree: core.SourceTree) -> Iterable[core.Finding]:
+        for f in tree.in_dirs("src"):
+            if not f.is_header:
+                continue
+            for i, raw in enumerate(f.lines):
+                code = core.strip_comment(raw)
+                if IOSTREAM.search(code) and not f.suppressed(i, "include-ok"):
+                    yield core.Finding(
+                        self.name, f.rel, i + 1,
+                        "header includes <iostream> — use <ostream>/"
+                        "<iosfwd> or move the printing into the .cpp")
+                if USING_NAMESPACE.search(code) and \
+                        not f.suppressed(i, "include-ok"):
+                    yield core.Finding(
+                        self.name, f.rel, i + 1,
+                        "'using namespace' in a header leaks into every "
+                        "includer — qualify names instead")

@@ -1,0 +1,122 @@
+"""lock-discipline — mutex-guarded members are touched under their mutex.
+
+The concurrent components (obs::Registry, core::WorkloadCache,
+trie::SnapshotPublisher) document which members a mutex guards. This
+check makes that documentation machine-readable and enforced: a member
+annotated
+
+    std::map<...> metrics_;  // guarded_by(mu_)
+
+may only appear in functions that visibly take that mutex. A function
+complies when any of these holds:
+
+* its body constructs a ``lock_guard`` / ``scoped_lock`` /
+  ``unique_lock`` on the named mutex, or calls ``mutex.lock()``;
+* its name ends in ``_locked`` (the project convention for helpers with
+  a "must hold mu_" contract, checked at their call sites);
+* it is a constructor or destructor (no concurrent access can exist
+  before the object is shared or during teardown);
+* it carries ``// lock-ok: <reason>`` — e.g. an atomic read deliberately
+  outside the lock, or single-writer data read on the writer thread.
+
+The annotation lives in the header; the check follows the companion
+.cpp so out-of-line definitions are covered too.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+import core
+
+GUARDED = re.compile(r"//.*\bguarded_by\(([A-Za-z_]\w*)\)")
+MEMBER_DECL = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\{[^{}]*\}|=[^;]*)?\s*;")
+
+
+def _declared_members(f: core.SourceFile) -> dict[str, str]:
+    """member name -> guarding mutex, from guarded_by annotations."""
+    members: dict[str, str] = {}
+    for i, raw in enumerate(f.lines):
+        m = GUARDED.search(raw)
+        if not m:
+            continue
+        mutex = m.group(1)
+        # The annotated declaration is on this line, or this is a
+        # standalone comment annotating the next declaration line.
+        for line in (core.strip_comment(raw), ):
+            decl = MEMBER_DECL.search(line)
+            if not decl and i + 1 < len(f.lines):
+                decl = MEMBER_DECL.search(core.strip_comment(f.lines[i + 1]))
+            if decl:
+                members[decl.group(1)] = mutex
+    return members
+
+
+def _takes_lock(body: list[str], mutex: str) -> bool:
+    lock_re = re.compile(
+        r"(?:lock_guard|scoped_lock|unique_lock|shared_lock)\b[^;]*"
+        r"[({]\s*" + re.escape(mutex) + r"\s*[)}]"
+        r"|\b" + re.escape(mutex) + r"\s*\.\s*lock\s*\(")
+    return any(lock_re.search(core.strip_comment(line)) for line in body)
+
+
+@core.register
+class LockDisciplineCheck(core.Check):
+    name = "lock-discipline"
+    description = ("members annotated // guarded_by(mu) are only touched "
+                   "under the mutex, in _locked helpers, or with lock-ok")
+
+    def run(self, tree: core.SourceTree) -> Iterable[core.Finding]:
+        for header in tree.in_dirs("src"):
+            if not header.is_header:
+                continue
+            members = _declared_members(header)
+            if not members:
+                continue
+            sources = [header]
+            companion = tree.companion(header)
+            if companion is not None:
+                sources.append(companion)
+            class_names = {
+                m.group(1)
+                for line in header.lines
+                for m in [re.search(r"\b(?:class|struct)\s+(\w+)", line)]
+                if m}
+            for f in sources:
+                yield from self._lint_file(f, members, class_names)
+
+    def _lint_file(self, f: core.SourceFile, members: dict[str, str],
+                   class_names: set[str]) -> Iterable[core.Finding]:
+        for span in f.functions:
+            if span.name.endswith("_locked"):
+                continue
+            if span.name.lstrip("~") in class_names:
+                continue  # constructor/destructor
+            body = f.lines[span.header_line - 1:span.close_line]
+            header_text = " ".join(
+                f.lines[span.header_line - 1:span.open_line])
+            for member, mutex in members.items():
+                use_re = re.compile(r"\b" + re.escape(member) + r"\b")
+                hits = [
+                    span.header_line + k
+                    for k, line in enumerate(body)
+                    if use_re.search(core.strip_comment(line))]
+                # The declaration itself (and its annotation) is not a use.
+                hits = [
+                    h for h in hits
+                    if not GUARDED.search(f.lines[h - 1])
+                    and not f.suppressed(h - 1, "lock-ok")]
+                if not hits:
+                    continue
+                if _takes_lock(body, mutex):
+                    continue
+                if re.search(r"//\s*lock-ok:", header_text):
+                    continue
+                yield core.Finding(
+                    self.name, f.rel, hits[0],
+                    f"'{span.qualifier + '::' if span.qualifier else ''}"
+                    f"{span.name}' touches '{member}' (guarded_by "
+                    f"{mutex}) without taking the lock — lock {mutex}, "
+                    f"rename to *_locked, or annotate "
+                    f"'// lock-ok: <reason>'")

@@ -1,0 +1,85 @@
+"""metrics — every obs:: metric name lives in a checked-in manifest.
+
+Dashboards, ``bench_diff`` keys and the golden ``--metrics`` output all
+address metrics by their string name (``workload_cache.hits``,
+``dataplane.egress_wait_cycles``, ...). A renamed or fat-fingered name
+doesn't fail any compile — it just silently forks the time series. This
+check pins the namespace:
+
+* every literal name passed to ``Registry::counter/gauge/histogram`` in
+  src/ and bench/ must appear in ``tools/vrlint/metrics.txt``;
+* every manifest entry must still be registered somewhere — a stale
+  entry means a dashboard key died and nobody noticed.
+
+tests/ are deliberately out of scope (test-local throwaway names).
+Dynamically composed names can't be checked and must be annotated
+``// metric-ok: <reason>`` at the call site.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+import core
+
+MANIFEST_REL = "tools/vrlint/metrics.txt"
+
+REGISTRATION = re.compile(
+    r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]+)\"")
+DYNAMIC_REGISTRATION = re.compile(
+    r"\b(?:counter|gauge|histogram)\s*\(\s*(?!\")[A-Za-z_]")
+
+
+@core.register
+class MetricsRegistryCheck(core.Check):
+    name = "metrics"
+    description = ("obs:: metric names registered in src/ and bench/ match "
+                   "the tools/vrlint/metrics.txt manifest, both ways")
+
+    def run(self, tree: core.SourceTree) -> Iterable[core.Finding]:
+        manifest_path = tree.root / MANIFEST_REL
+        if not manifest_path.is_file():
+            yield core.Finding(
+                self.name, MANIFEST_REL, 1,
+                "metric-name manifest is missing — every obs:: metric "
+                "name must be declared there")
+            return
+        manifest: dict[str, int] = {}
+        for i, raw in enumerate(manifest_path.read_text().splitlines()):
+            entry = raw.split("#", 1)[0].strip()
+            if entry:
+                manifest[entry] = i + 1
+
+        seen: set[str] = set()
+        for f in tree.in_dirs("src", "bench"):
+            for i, raw in enumerate(f.lines):
+                code = core.strip_comment(raw)
+                for m in REGISTRATION.finditer(code):
+                    metric = m.group(1)
+                    seen.add(metric)
+                    if metric in manifest:
+                        continue
+                    if f.suppressed(i, "metric-ok"):
+                        continue
+                    yield core.Finding(
+                        self.name, f.rel, i + 1,
+                        f"metric name \"{metric}\" is not in "
+                        f"{MANIFEST_REL} — add it (dashboards and "
+                        f"bench_diff key on these names)")
+                if (DYNAMIC_REGISTRATION.search(code)
+                        and not REGISTRATION.search(code)
+                        and "obs" in code
+                        and not f.suppressed(i, "metric-ok")):
+                    yield core.Finding(
+                        self.name, f.rel, i + 1,
+                        "dynamically composed metric name — the manifest "
+                        "cannot check it; annotate "
+                        "'// metric-ok: <naming scheme>'")
+        for metric, line in sorted(manifest.items()):
+            if metric not in seen:
+                yield core.Finding(
+                    self.name, MANIFEST_REL, line,
+                    f"manifest entry \"{metric}\" is registered nowhere "
+                    f"in src/ or bench/ — the series is dead; remove the "
+                    f"entry or restore the metric")

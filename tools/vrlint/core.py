@@ -1,0 +1,313 @@
+"""vrlint core — the check API, source-tree model and suppression rules.
+
+vrlint is the project-native static-analysis framework (DESIGN.md §14).
+Each check is a small Python module under ``checks/`` that registers a
+``Check`` subclass; the driver loads every registered check, hands it the
+parsed :class:`SourceTree`, and aggregates :class:`Finding` objects.
+
+Design constraints, in order:
+
+1. **Zero dependencies.** Pure stdlib python3, like every other tool in
+   ``tools/``. The gate must run in the gcc-only container and in CI
+   without a pip step.
+2. **Project-shaped, not language-complete.** The checks encode *this*
+   codebase's invariants over *this* codebase's style (clang-format'd,
+   one declaration per line, ``//`` comments). They are line-oriented
+   pattern checks with just enough structure (brace-depth function
+   spans) to reason about "inside which function" — not a C++ parser.
+   The fixture tests under ``tests/lint_fixtures/`` pin exactly what
+   each check can and cannot see.
+3. **Every suppression carries a reason.** An escape comment without a
+   justification (``// narrow-ok`` with no text after the colon) is
+   itself a violation — the annotation *is* the documentation.
+
+Suppression comments (same line or the immediately preceding line):
+
+    ==============  ===============================================
+    tag             silences
+    ==============  ===============================================
+    units-ok        the units check (legacy tag, reason encouraged)
+    det-ok          the determinism check
+    narrow-ok       the narrowing check
+    lock-ok         the lock-discipline check
+    metric-ok       the metrics-registry check
+    include-ok      the include-hygiene check
+    ==============  ===============================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import pathlib
+import re
+from typing import Callable, Iterable, Iterator
+
+# Directories scanned relative to the root. Fixture trees mirror this
+# layout, so running vrlint with --root tests/lint_fixtures exercises
+# the same walking logic as the real tree.
+SCAN_DIRS = ("src", "bench")
+
+# Never scanned: deliberately-broken inputs of other gates.
+EXCLUDE_PARTS = {"lint_fixtures", "compile_fail"}
+
+# Suppression tags that must carry a ': reason'. 'units-ok' is exempt
+# for backward compatibility with the pre-vrlint unit lint, though all
+# in-tree uses do carry one.
+REASON_REQUIRED_TAGS = ("det-ok", "narrow-ok", "lock-ok", "metric-ok",
+                        "include-ok")
+
+_SUPPRESS_RE = {
+    tag: re.compile(r"//\s*" + re.escape(tag) + r"\b(:?)\s*(\S?)")
+    for tag in REASON_REQUIRED_TAGS + ("units-ok",)
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One violation: where, which check, and what to do about it."""
+    check: str
+    path: str        # path relative to the scanned root, posix separators
+    line: int        # 1-based
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+@dataclasses.dataclass
+class FunctionSpan:
+    """One function body located by brace counting.
+
+    ``name`` is the last identifier before the parameter list's ``(`` on
+    the header line (so ``NodeIndex checked_node_index(...)`` has name
+    ``checked_node_index`` and ``void WorkloadCache::clear()`` has name
+    ``clear``); ``qualifier`` keeps the ``Class::`` part when present.
+    ``header_line``/``open_line``/``close_line`` are 1-based.
+    """
+    name: str
+    qualifier: str
+    header_line: int
+    open_line: int
+    close_line: int
+
+    def contains(self, line: int) -> bool:
+        return self.header_line <= line <= self.close_line
+
+
+def strip_comment(line: str) -> str:
+    """Drops a trailing // comment (good enough: the codebase has no
+    string literals containing '//')."""
+    return line.split("//", 1)[0]
+
+
+class SourceFile:
+    """One parsed source file with lazily computed structure."""
+
+    def __init__(self, root: pathlib.Path, path: pathlib.Path):
+        self.abs_path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.lines = path.read_text(encoding="utf-8").splitlines()
+
+    @property
+    def top_dir(self) -> str:
+        """First path component under the root ('src', 'bench', ...)."""
+        return self.rel.split("/", 1)[0]
+
+    @property
+    def src_subdir(self) -> str:
+        """'trie' for src/trie/foo.cpp, '' outside src/."""
+        parts = self.rel.split("/")
+        return parts[1] if parts[0] == "src" and len(parts) > 2 else ""
+
+    @property
+    def is_header(self) -> bool:
+        return self.rel.endswith(".hpp")
+
+    def suppressed(self, index: int, tag: str) -> bool:
+        """True when line ``index`` (0-based) carries the escape comment
+        for ``tag`` *with* its required reason — on the line itself or in
+        the contiguous block of comment-only lines directly above (so a
+        justification may wrap)."""
+        candidates = [index]
+        i = index - 1
+        while i >= 0 and self.lines[i].lstrip().startswith("//"):
+            candidates.append(i)
+            i -= 1
+        for i in candidates:
+            if 0 <= i < len(self.lines):
+                m = _SUPPRESS_RE[tag].search(self.lines[i])
+                if m and (tag not in REASON_REQUIRED_TAGS or m.group(2)):
+                    return True
+        return False
+
+    def bare_suppressions(self) -> Iterator[Finding]:
+        """Escape comments missing their ': reason' — the annotation is
+        the documentation, so an empty one is a violation in itself."""
+        for i, raw in enumerate(self.lines):
+            for tag in REASON_REQUIRED_TAGS:
+                m = _SUPPRESS_RE[tag].search(raw)
+                if m and not m.group(2):
+                    yield Finding(
+                        "annotations", self.rel, i + 1,
+                        f"'// {tag}' without a justification — write "
+                        f"'// {tag}: <why this is safe>'")
+
+    # A function header: optional Class:: qualifier, then the last-resort
+    # first `identifier(` of the header text. Control-flow keywords and
+    # macro invocations are filtered separately.
+    _NAME_RE = re.compile(r"(?:([A-Za-z_]\w*)\s*::\s*)?([A-Za-z_~]\w*)\s*\(")
+    _CONTROL_RE = re.compile(
+        r"^\s*(?:if|for|while|switch|catch|do|else|return|case)\b")
+
+    @functools.cached_property
+    def functions(self) -> list[FunctionSpan]:
+        """Function bodies located by brace depth.
+
+        Heuristic, tuned for this clang-format'd codebase: a body opens
+        at a '{' whose accumulated header text (the lines since the last
+        statement end) contains `identifier(` and is not a control-flow
+        statement. Braces nested inside a function (lambdas, blocks) do
+        not open new spans; class/namespace braces have no `(` header so
+        they are skipped too.
+        """
+        spans: list[FunctionSpan] = []
+        stack: list[FunctionSpan | None] = []
+        header_start = 0          # first line of the pending header text
+        header_parts: list[str] = []
+        for i, raw in enumerate(self.lines):
+            code = strip_comment(raw)
+            consumed = 0
+            for j, ch in enumerate(code):
+                if ch == "{":
+                    head = " ".join(header_parts + [code[consumed:j]]).strip()
+                    span = None
+                    inside = any(s is not None for s in stack)
+                    # `= {` / `, {` open aggregate initializers, never
+                    # function bodies.
+                    if head.rstrip().endswith(("=", ",")):
+                        inside = True
+                    if not inside and not self._CONTROL_RE.match(head):
+                        m = self._NAME_RE.search(head)
+                        # ALL_CAPS identifiers are macros (VR_REQUIRE...),
+                        # not function definitions.
+                        if m and not m.group(2).isupper():
+                            span = FunctionSpan(
+                                name=m.group(2),
+                                qualifier=m.group(1) or "",
+                                header_line=(header_start + 1
+                                             if header_parts else i + 1),
+                                open_line=i + 1,
+                                close_line=i + 1)
+                    stack.append(span)
+                    header_parts, consumed = [], j + 1
+                elif ch == "}":
+                    if stack:
+                        span = stack.pop()
+                        if span is not None:
+                            span.close_line = i + 1
+                            spans.append(span)
+                    header_parts, consumed = [], j + 1
+                elif ch == ";":
+                    header_parts, consumed = [], j + 1
+            tail = code[consumed:].strip()
+            if tail:
+                if not header_parts:
+                    header_start = i
+                header_parts.append(tail)
+            elif consumed:
+                header_parts = []
+        spans.sort(key=lambda s: s.header_line)
+        return spans
+
+    def enclosing_function(self, line: int) -> FunctionSpan | None:
+        """Innermost (only: non-nested) function span containing the
+        1-based ``line``, or None at namespace/class scope."""
+        for span in self.functions:
+            if span.contains(line):
+                return span
+        return None
+
+
+class SourceTree:
+    """All scanned files plus cross-file lookups the checks share."""
+
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.files: list[SourceFile] = []
+        for top in SCAN_DIRS:
+            base = root / top
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix not in (".hpp", ".cpp"):
+                    continue
+                # Relative to the root: running vrlint *on* a fixture tree
+                # (--root tests/lint_fixtures) must still scan it.
+                if EXCLUDE_PARTS.intersection(path.relative_to(root).parts):
+                    continue
+                self.files.append(SourceFile(root, path))
+        self._by_rel = {f.rel: f for f in self.files}
+
+    def get(self, rel: str) -> SourceFile | None:
+        return self._by_rel.get(rel)
+
+    def in_dirs(self, *tops: str) -> Iterator[SourceFile]:
+        for f in self.files:
+            if f.top_dir in tops:
+                yield f
+
+    def companion(self, f: SourceFile) -> SourceFile | None:
+        """The .cpp for a .hpp (or vice versa), if scanned."""
+        if f.rel.endswith(".hpp"):
+            return self.get(f.rel[:-4] + ".cpp")
+        return self.get(f.rel[:-4] + ".hpp")
+
+
+class Check:
+    """Base class: subclasses set ``name``/``description`` and implement
+    ``run``. Registration happens via the ``register`` decorator so that
+    importing ``checks`` is all the driver needs to do."""
+    name = "base"
+    description = ""
+
+    def run(self, tree: SourceTree) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Check] = {}
+
+
+def register(cls: type[Check]) -> type[Check]:
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate check name {cls.name!r}")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def all_checks() -> dict[str, Check]:
+    return dict(_REGISTRY)
+
+
+def run_checks(root: pathlib.Path,
+               names: list[str] | None = None) -> tuple[list[Finding], int]:
+    """Runs the selected checks (default: all) over ``root``.
+
+    Returns (findings, file_count). The framework-level bare-annotation
+    scan always runs — a suppression without a reason must not be able
+    to silence the very check that demands the reason.
+    """
+    tree = SourceTree(root)
+    selected = all_checks()
+    if names is not None:
+        unknown = set(names) - set(selected)
+        if unknown:
+            raise KeyError(", ".join(sorted(unknown)))
+        selected = {n: c for n, c in selected.items() if n in names}
+    findings: list[Finding] = []
+    for f in tree.files:
+        findings.extend(f.bare_suppressions())
+    for check in selected.values():
+        findings.extend(check.run(tree))
+    findings.sort(key=lambda x: (x.path, x.line, x.check))
+    return findings, len(tree.files)
