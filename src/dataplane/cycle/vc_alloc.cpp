@@ -1,0 +1,114 @@
+#include "dataplane/cycle/vc_alloc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vr::dataplane::cycle {
+
+VcAllocator::VcAllocator(VcAllocConfig config) : config_(config) {
+  VR_REQUIRE(config_.vn_count >= 1, "VC allocator needs at least one VN");
+  VR_REQUIRE(config_.vc_count >= config_.vn_count,
+             "every VN needs at least one VC in the pool");
+  if (config_.policy == VcPolicy::kDynamic) {
+    VR_REQUIRE(config_.dynamic_floor >= 1,
+               "dynamic policy needs a per-VN floor of at least one VC");
+    VR_REQUIRE(config_.vn_count * config_.dynamic_floor <= config_.vc_count,
+               "per-VN floors must fit the VC pool");
+    VR_REQUIRE(config_.dynamic_ceiling == 0 ||
+                   config_.dynamic_ceiling >= config_.dynamic_floor,
+               "dynamic ceiling must be at least the floor");
+  }
+  owner_.assign(config_.vc_count, kFree);
+  allocated_per_vn_.assign(config_.vn_count, 0);
+  free_count_ = config_.vc_count;
+}
+
+net::VnId VcAllocator::static_home(std::size_t vc) const {
+  VR_REQUIRE(vc < config_.vc_count, "VC index out of range");
+  // Contiguous blocks of floor(vc_count / vn_count); the first
+  // (vc_count % vn_count) VNs absorb one extra VC each.
+  const std::size_t base = config_.vc_count / config_.vn_count;
+  const std::size_t extra = config_.vc_count % config_.vn_count;
+  const std::size_t wide = (base + 1) * extra;  // VCs in widened partitions
+  std::size_t home = 0;
+  if (vc < wide) {
+    home = vc / (base + 1);
+  } else {
+    home = extra + (vc - wide) / base;
+  }
+  // narrow-ok: home < vn_count, which a VnId (uint16) can always hold for
+  // any deployment this library models (K <= a few thousand)
+  return static_cast<net::VnId>(home);
+}
+
+std::size_t VcAllocator::effective_ceiling() const noexcept {
+  if (config_.policy != VcPolicy::kDynamic || config_.dynamic_ceiling == 0) {
+    return config_.vc_count;
+  }
+  return std::min(config_.dynamic_ceiling, config_.vc_count);
+}
+
+std::optional<std::size_t> VcAllocator::allocate(net::VnId vn) {
+  VR_REQUIRE(vn < config_.vn_count, "VN out of range");
+  if (free_count_ == 0) return std::nullopt;
+  if (config_.policy != VcPolicy::kDynamic) {
+    // Static partition: only VCs whose home is `vn` are eligible.
+    for (std::size_t vc = 0; vc < config_.vc_count; ++vc) {
+      if (owner_[vc] == kFree && static_home(vc) == vn) {
+        owner_[vc] = vn;
+        ++allocated_per_vn_[vn];
+        --free_count_;
+        return vc;
+      }
+    }
+    return std::nullopt;
+  }
+  // Dynamic pool. A VN below its floor draws from the reserve it is
+  // entitled to; beyond the floor it may only take a free VC that is not
+  // needed to keep every *other* VN's unmet floor satisfiable.
+  if (allocated_per_vn_[vn] >= effective_ceiling()) return std::nullopt;
+  if (allocated_per_vn_[vn] >= config_.dynamic_floor) {
+    std::size_t reserved = 0;
+    for (std::size_t v = 0; v < config_.vn_count; ++v) {
+      if (v == vn) continue;
+      if (allocated_per_vn_[v] < config_.dynamic_floor) {
+        reserved += config_.dynamic_floor - allocated_per_vn_[v];
+      }
+    }
+    if (free_count_ <= reserved) return std::nullopt;
+  }
+  for (std::size_t vc = 0; vc < config_.vc_count; ++vc) {
+    if (owner_[vc] == kFree) {
+      owner_[vc] = vn;
+      ++allocated_per_vn_[vn];
+      --free_count_;
+      return vc;
+    }
+  }
+  VR_REQUIRE(false, "free_count_ said a VC was free but none was found");
+  return std::nullopt;
+}
+
+void VcAllocator::release(std::size_t vc) {
+  VR_REQUIRE(vc < config_.vc_count, "VC index out of range");
+  VR_REQUIRE(owner_[vc] != kFree, "releasing a VC that is not allocated");
+  const net::VnId vn = owner_[vc];
+  VR_REQUIRE(allocated_per_vn_[vn] > 0, "per-VN allocation count underflow");
+  owner_[vc] = kFree;
+  --allocated_per_vn_[vn];
+  ++free_count_;
+}
+
+std::optional<net::VnId> VcAllocator::owner(std::size_t vc) const {
+  VR_REQUIRE(vc < config_.vc_count, "VC index out of range");
+  if (owner_[vc] == kFree) return std::nullopt;
+  return owner_[vc];
+}
+
+std::size_t VcAllocator::allocated_to(net::VnId vn) const {
+  VR_REQUIRE(vn < config_.vn_count, "VN out of range");
+  return allocated_per_vn_[vn];
+}
+
+}  // namespace vr::dataplane::cycle

@@ -45,15 +45,15 @@ void publish_run_metrics(const FullRouterResult& result) {
         .add(act.crossbar_traversals[vn]);
     registry.counter("dataplane.activity.arbiter_decisions", labels)
         .add(act.arbiter_decisions[vn]);
+    registry.counter("dataplane.activity.arbiter_comparisons", labels)
+        .add(act.arbiter_comparisons[vn]);
     registry.counter("dataplane.activity.editor_rewrites", labels)
         .add(act.editor_rewrites[vn]);
   }
 }
 
-// Folds the engines' per-(VN, stage) matrices into the run's activity
-// record, mapping engine-local VNIDs back to global ones: separate
-// arrangements rewrite every packet to local VNID 0 inside the engine that
-// serves global VN e, while the merged engine sees real VNIDs.
+}  // namespace
+
 void fold_engine_activity(const pipeline::VirtualRouter& lookup,
                           power::ActivityCounters* activity) {
   const std::size_t stages = activity->stage_count();
@@ -73,8 +73,6 @@ void fold_engine_activity(const pipeline::VirtualRouter& lookup,
     }
   }
 }
-
-}  // namespace
 
 std::vector<double> FullRouterResult::goodput_shares() const {
   std::vector<double> shares(scheduler.bytes_per_vn.size(), 0.0);
@@ -207,6 +205,7 @@ FullRouterResult run_full_router(pipeline::VirtualRouter& lookup,
   result.cycles = cycle;
   activity.cycles = cycle;
   activity.arbiter_decisions = result.scheduler.arbiter_grants_per_vn;
+  activity.arbiter_comparisons = result.scheduler.arbiter_comparisons_per_vn;
   fold_engine_activity(lookup, &activity);
   result.activity = std::move(activity);
   result.queue_depths = scheduler.queue_depth_histogram();

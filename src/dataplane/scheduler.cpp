@@ -27,6 +27,7 @@ DrrScheduler::DrrScheduler(SchedulerConfig config)
   stats_.bytes_per_vn.assign(config_.vn_count, 0);
   stats_.tail_drops_per_vn.assign(config_.vn_count, 0);
   stats_.arbiter_grants_per_vn.assign(config_.vn_count, 0);
+  stats_.arbiter_comparisons_per_vn.assign(config_.vn_count, 0);
 }
 
 double DrrScheduler::quantum_for(net::VnId vn) const {
@@ -71,6 +72,10 @@ void DrrScheduler::tick(std::uint64_t cycle, std::vector<EgressRecord>* out) {
     while (port.byte_credit >= 1.0 && visited < config_.vn_count) {
       const std::size_t vn = port.round_robin_cursor;
       auto& queue = port.queues[vn];
+      // Each cursor stop examines one queue — comparator work the grant
+      // count alone undercounts (empty skips and resumed rounds decide
+      // without granting).
+      ++stats_.arbiter_comparisons_per_vn[vn];
       if (queue.empty()) {
         port.deficit[vn] = 0.0;  // idle queues accumulate nothing
         port.quantum_added = false;

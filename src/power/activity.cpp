@@ -11,6 +11,7 @@ ActivityCounters::ActivityCounters(std::size_t vn_count,
       buffer_reads(vn_count, 0),
       crossbar_traversals(vn_count, 0),
       arbiter_decisions(vn_count, 0),
+      arbiter_comparisons(vn_count, 0),
       editor_rewrites(vn_count, 0),
       stage_busy(vn_count * stage_count, 0),
       stage_reads(vn_count * stage_count, 0) {
@@ -36,6 +37,7 @@ void ActivityCounters::merge(const ActivityCounters& other) {
   add_vector(&buffer_reads, other.buffer_reads);
   add_vector(&crossbar_traversals, other.crossbar_traversals);
   add_vector(&arbiter_decisions, other.arbiter_decisions);
+  add_vector(&arbiter_comparisons, other.arbiter_comparisons);
   add_vector(&editor_rewrites, other.editor_rewrites);
   add_vector(&stage_busy, other.stage_busy);
   add_vector(&stage_reads, other.stage_reads);

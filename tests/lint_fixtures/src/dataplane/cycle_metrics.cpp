@@ -1,0 +1,13 @@
+// Fixture: metrics check over the cycle-model namespace. Expected: one
+// finding (an unlisted cycle counter); the manifest-listed name is clean.
+
+namespace vr::obs {
+
+class Registry;
+
+void fixture_register_cycle(Registry& obs_registry) {
+  obs_registry.counter("dataplane.cycle.flits_in");  // in the manifest: clean
+  obs_registry.counter("dataplane.cycle.flits_bogus");  // FINDING: unlisted
+}
+
+}  // namespace vr::obs
