@@ -19,20 +19,22 @@ ConcurrencyProbe probe_concurrency() {
     const auto [end, ec] =
         std::from_chars(text.data(), text.data() + text.size(), parsed);
     // The whole value must parse ("8x" is not 8) and describe a usable
-    // pool ("0" and "-3" are not). Anything else falls through to the
-    // hardware probe — loudly, once, because a silently ignored
-    // VR_THREADS turns every benchmark comparison into noise.
+    // pool ("0" and "-3" are not, nor is anything past kMaxProbeThreads —
+    // a 2^40-thread "pool" is a typo, not a request). Anything else falls
+    // through to the hardware probe — loudly, once, because a silently
+    // ignored VR_THREADS turns every benchmark comparison into noise.
     if (ec == std::errc() && end == text.data() + text.size() &&
-        parsed >= 1) {
+        parsed >= 1 &&
+        static_cast<unsigned long long>(parsed) <= kMaxProbeThreads) {
       return {static_cast<std::size_t>(parsed), "env:VR_THREADS"};
     }
     static std::atomic<bool> warned{false};
     if (!warned.exchange(true)) {
       std::fprintf(stderr,
                    "vrpower: ignoring invalid VR_THREADS=\"%s\" "
-                   "(expected a positive integer); using the hardware "
+                   "(expected an integer in [1, %zu]); using the hardware "
                    "concurrency\n",
-                   env);
+                   env, kMaxProbeThreads);
     }
   }
   const unsigned hw = std::thread::hardware_concurrency();

@@ -34,6 +34,12 @@ struct ConcurrencyProbe {
   const char* source = "fallback";
 };
 
+/// Upper bound on a VR_THREADS override. A pool this size already
+/// oversubscribes any host the sweeps target by orders of magnitude;
+/// values above it are treated as typos (a stray digit, a pasted byte
+/// count) rather than intent, exactly like "0" or "8x".
+inline constexpr std::size_t kMaxProbeThreads = 4096;
+
 /// Probes the usable concurrency: VR_THREADS when set to a positive
 /// integer, else std::thread::hardware_concurrency(), cross-checked
 /// against the online-CPU count when it reports 0 or 1 (both values it

@@ -93,8 +93,9 @@ std::uint64_t WorkloadCache::approx_bytes(const Workload& workload) {
   return bytes;
 }
 
-WorkloadCache::WorkloadCache(obs::Registry* registry)
-    : max_resident_bytes_(kDefaultMaxResidentBytes),
+WorkloadCache::WorkloadCache(obs::Registry* registry, Builder builder)
+    : builder_(std::move(builder)),
+      max_resident_bytes_(kDefaultMaxResidentBytes),
       max_entries_(kDefaultMaxEntries) {
   if (registry != nullptr) {
     hits_ = &registry->counter("workload_cache.hits");
@@ -119,6 +120,7 @@ std::shared_ptr<const Workload> WorkloadCache::realize(
   std::promise<std::shared_ptr<const Workload>> promise;
   Entry entry;
   bool builder = false;
+  std::uint64_t my_generation = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(cache_key);
@@ -134,6 +136,7 @@ std::shared_ptr<const Workload> WorkloadCache::realize(
       entry = promise.get_future().share();
       Slot slot;
       slot.future = entry;
+      slot.generation = my_generation = ++next_generation_;
       entries_.emplace(cache_key, std::move(slot));
       builder = true;
     }
@@ -143,31 +146,45 @@ std::shared_ptr<const Workload> WorkloadCache::realize(
     std::shared_ptr<const Workload> workload;
     {
       const obs::ScopedTimer timer(*build_ns_);
-      workload = std::make_shared<const Workload>(
-          realize_workload(scenario, keep_tables));
+      workload = builder_
+                     ? builder_(scenario, keep_tables)
+                     : std::make_shared<const Workload>(
+                           realize_workload(scenario, keep_tables));
     }
     promise.set_value(workload);
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      complete_locked(cache_key, *workload);
+      complete_locked(cache_key, my_generation, *workload);
     }
     return workload;
   } catch (...) {
     // Failed builds must not poison the cache permanently: propagate the
-    // exception to every waiter of this entry, then drop it.
+    // exception to every waiter of this entry, then drop it — but only if
+    // the slot is still ours. clear() followed by a retry may have
+    // re-installed the key for a fresh build; unconditionally erasing here
+    // would tear down the retry's slot (poisoning its waiters' dedup and
+    // corrupting the byte accounting once it completes).
     promise.set_exception(std::current_exception());
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      entries_.erase(cache_key);
+      const auto it = entries_.find(cache_key);
+      if (it != entries_.end() && it->second.generation == my_generation) {
+        entries_.erase(it);
+      }
     }
     throw;
   }
 }
 
 void WorkloadCache::complete_locked(const std::string& cache_key,
+                                    std::uint64_t generation,
                                     const Workload& workload) {
   const auto it = entries_.find(cache_key);
   if (it == entries_.end()) return;  // clear() raced the build
+  // clear() + a re-request may have installed a fresh slot under this key
+  // while our build was in flight; charging our bytes against the new
+  // slot would double-count once the new build also completes.
+  if (it->second.generation != generation || it->second.ready) return;
   it->second.ready = true;
   it->second.bytes = approx_bytes(workload);
   lru_.push_front(cache_key);

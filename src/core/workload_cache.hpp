@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -57,11 +58,18 @@ class WorkloadCache {
     std::uint64_t entries = 0;         ///< completed entries resident
   };
 
+  /// Replacement realization function (tests inject failing or latching
+  /// builders to exercise the failure/race paths). Empty = the production
+  /// realize_workload() path.
+  using Builder = std::function<std::shared_ptr<const Workload>(
+      const Scenario& scenario, bool keep_tables)>;
+
   /// A cache publishing into `registry` (nullptr = private standalone
   /// metrics, the default for test-local caches). Only pass a registry one
   /// cache will use — two caches sharing one registry would add into the
   /// same counters.
-  explicit WorkloadCache(obs::Registry* registry = nullptr);
+  explicit WorkloadCache(obs::Registry* registry = nullptr,
+                         Builder builder = {});
 
   /// Returns the realized workload for `scenario`, building it at most
   /// once per distinct key. Thread-safe.
@@ -98,22 +106,32 @@ class WorkloadCache {
     Entry future;
     std::uint64_t bytes = 0;
     bool ready = false;
+    /// Identity of the in-flight build that installed this slot. A build
+    /// finishing (successfully or not) only touches the slot if the
+    /// generation still matches — clear() or a failed-then-retried build
+    /// may have re-installed the key with a different build in between,
+    /// and acting on someone else's slot would double-charge the byte
+    /// budget or erase a healthy entry.
+    std::uint64_t generation = 0;
     /// Position in lru_ (valid only when ready).
     std::list<std::string>::iterator lru_it;
   };
 
   /// Marks a finished build resident and enforces the budget. Must be
-  /// called with mu_ held.
-  void complete_locked(const std::string& cache_key,
+  /// called with mu_ held. No-op when the slot was removed or re-installed
+  /// by a different build (generation mismatch).
+  void complete_locked(const std::string& cache_key, std::uint64_t generation,
                        const Workload& workload);
   void enforce_budget_locked();
 
+  Builder builder_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Slot> entries_;  // guarded_by(mu_)
   /// Completed entries, most recently used first.
   std::list<std::string> lru_;         // guarded_by(mu_)
   std::uint64_t resident_bytes_ = 0;   // guarded_by(mu_)
   std::uint64_t ready_entries_ = 0;    // guarded_by(mu_)
+  std::uint64_t next_generation_ = 0;  // guarded_by(mu_)
   std::uint64_t max_resident_bytes_;   // guarded_by(mu_)
   std::size_t max_entries_;            // guarded_by(mu_)
 

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/units.hpp"
@@ -54,19 +55,31 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
-/// Bucket count of Histogram: bucket 0 covers [0, 1), bucket i >= 1 covers
-/// [2^(i-1), 2^i), and the last bucket absorbs everything above.
+/// Bucket count of the default Histogram scheme: bucket 0 covers [0, 1),
+/// bucket i >= 1 covers [2^(i-1), 2^i), and the last bucket absorbs
+/// everything above. Custom-bounds histograms reuse the same fixed-size
+/// storage, so they may declare at most kHistogramBuckets - 1 bounds.
 inline constexpr std::size_t kHistogramBuckets = 64;
 
 /// A point-in-time copy of a Histogram: exact summary statistics plus the
 /// bucket counts the quantile estimator interpolates over. Plain data —
 /// safe to copy into result structs (FullRouterResult) and to merge.
+/// `bounds` empty means the default base-2 exponential scheme; otherwise
+/// bucket i covers [bounds[i-1], bounds[i]) (bucket 0 starts at 0) and the
+/// last used bucket, index bounds.size(), absorbs everything at or above
+/// bounds.back().
 struct HistogramSnapshot {
   RunningStats stats;
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::vector<double> bounds;
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     return std::uint64_t{stats.count()};
+  }
+
+  /// Buckets actually addressable under this snapshot's bounds scheme.
+  [[nodiscard]] std::size_t used_buckets() const noexcept {
+    return bounds.empty() ? kHistogramBuckets : bounds.size() + 1;
   }
 
   /// Approximate q-quantile (q in [0,1]) by linear interpolation inside
@@ -79,8 +92,22 @@ struct HistogramSnapshot {
 /// non-negative quantity whose distribution (not just total) matters.
 /// Rejects NaN and negative samples via VR_REQUIRE: a poisoned histogram
 /// would silently corrupt every percentile derived from it.
+///
+/// Bucketing defaults to the base-2 exponential scheme (right for
+/// nanosecond timings spanning orders of magnitude); a histogram whose
+/// domain is known — device watts, utilization fractions — can instead be
+/// constructed with explicit bucket upper bounds. Two histograms only
+/// merge when their bounds agree: silently adding counts across different
+/// bucket shapes would mis-bin every quantile, so the mismatch aborts.
 class Histogram {
  public:
+  Histogram() = default;
+  /// Custom bucketing: `upper_bounds` are the exclusive upper edges,
+  /// strictly increasing, all positive, at most kHistogramBuckets - 1 of
+  /// them. Bucket 0 covers [0, upper_bounds[0]); one extra bucket absorbs
+  /// everything at or above upper_bounds.back().
+  explicit Histogram(std::vector<double> upper_bounds);
+
   void observe(double value);
 
   /// Typed entry point for timers: durations always enter in nanoseconds.
@@ -90,9 +117,21 @@ class Histogram {
 
   [[nodiscard]] HistogramSnapshot snapshot() const;
 
+  /// The custom bucket upper bounds; empty = default base-2 scheme.
+  /// Immutable once the histogram holds samples.
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+
+  /// Re-shapes an empty histogram (used by Registry to configure a
+  /// default-constructed cell). Aborts if samples were already observed
+  /// or if the histogram already has different bounds.
+  void configure_bounds(std::vector<double> upper_bounds);
+
   /// Folds another histogram's snapshot into this one (bucket-wise add +
   /// RunningStats::merge). Used to publish component-owned histograms into
-  /// the process-wide registry.
+  /// the process-wide registry. The bucket bounds must match — merging
+  /// differently-shaped histograms aborts rather than mis-binning.
   void merge(const HistogramSnapshot& other);
 
   void reset();
@@ -101,6 +140,9 @@ class Histogram {
   mutable std::mutex mu_;
   RunningStats stats_;
   std::array<std::uint64_t, kHistogramBuckets> buckets_{};
+  /// Custom bucket upper edges; empty = base-2 default. Set only at
+  /// construction or via configure_bounds() while empty.
+  std::vector<double> bounds_;
 };
 
 }  // namespace vr::obs

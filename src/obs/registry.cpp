@@ -60,6 +60,23 @@ Histogram& Registry::histogram(std::string_view name, Labels labels) {
       .histogram;
 }
 
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds,
+                               Labels labels) {
+  Histogram& hist =
+      find_or_create(name, std::move(labels), MetricKind::kHistogram)
+          .histogram;
+  // configure_bounds is a no-op when the cell already has these exact
+  // bounds and aborts when it has different ones — which turns a
+  // re-registration under a changed shape into a loud failure instead of
+  // two silently incompatible series.
+  VR_REQUIRE(hist.bounds().empty() || hist.bounds() == upper_bounds,
+             "metric '" + std::string(name) +
+                 "' re-registered with different histogram bucket bounds");
+  hist.configure_bounds(std::move(upper_bounds));
+  return hist;
+}
+
 std::vector<Registry::Snapshot> Registry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<Snapshot> out;
@@ -103,6 +120,20 @@ void Registry::merge(const Registry& other) {
         metric.gauge.add(snap.gauge);
         break;
       case MetricKind::kHistogram:
+        // Name the metric before the primitive's own shape check fires:
+        // "which histogram disagreed" is the part of the abort message a
+        // sharded-sweep user actually needs. A default-shaped empty cell
+        // (created by this very merge) adopts the source's bounds instead.
+        VR_REQUIRE(
+            metric.histogram.bounds() == snap.histogram.bounds ||
+                (metric.histogram.bounds().empty() &&
+                 metric.histogram.snapshot().count() == 0),
+            "metric '" + snap.name +
+                "' merged with mismatched histogram bucket bounds — the "
+                "two registries registered it with different shapes");
+        if (!snap.histogram.bounds.empty()) {
+          metric.histogram.configure_bounds(snap.histogram.bounds);
+        }
         metric.histogram.merge(snap.histogram);
         break;
     }

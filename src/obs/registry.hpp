@@ -40,6 +40,11 @@ class Registry {
   Counter& counter(std::string_view name, Labels labels = {});
   Gauge& gauge(std::string_view name, Labels labels = {});
   Histogram& histogram(std::string_view name, Labels labels = {});
+  /// Histogram with explicit bucket upper bounds (see Histogram). The
+  /// first registration shapes the cell; re-requesting the same name with
+  /// different bounds aborts with the metric name — one name, one shape.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds, Labels labels = {});
 
   /// One registered metric, copied at a point in time.
   struct Snapshot {

@@ -1,0 +1,38 @@
+// Offline reference bounds for the competitive-ratio experiments. Given
+// the set of VNs an online run left resident, two reproducible references
+// bracket the optimum:
+//
+//   * greedy_w — an offline greedy packing (best-fit-decreasing by table
+//     bucket, scored in marginal watts with full hindsight). An upper
+//     bound on OPT: a feasible offline solution.
+//   * fractional_lower_w — a per-VN amortized bound: each VN is charged
+//     the cheapest watts-per-tenant any feasible co-location could ever
+//     achieve for its (bucket, load, SLA) class — min over modes and
+//     occupancies of watts(shape with K identical tenants)/K. Summing
+//     these ideal shares relaxes the packing constraints entirely, so no
+//     integral placement (including OPT) can beat it.
+//
+// competitive ratio = online fleet_w / fractional_lower_w, reported by
+// bench/perf_placement and asserted ≥ 1 by the invariant tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "placement/fleet.hpp"
+
+namespace vr::placement {
+
+struct OfflineBound {
+  double greedy_w = 0.0;
+  std::size_t greedy_devices = 0;
+  double fractional_lower_w = 0.0;
+};
+
+/// Bounds for hosting exactly `vns` (a resident set, e.g.
+/// Fleet::resident_vns() after an online run). Uses the same oracle as
+/// the online controller so both sides price shapes identically.
+[[nodiscard]] OfflineBound offline_bound(const std::vector<PlacedVn>& vns,
+                                         CostOracle& oracle);
+
+}  // namespace vr::placement

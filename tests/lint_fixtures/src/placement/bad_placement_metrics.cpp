@@ -1,0 +1,13 @@
+// Fixture: metrics check over the placement namespace. Expected: one
+// finding (a typo'd counter name); the manifest-listed name is clean.
+
+namespace vr::obs {
+
+class Registry;
+
+void fixture_register_placement(Registry& obs_registry) {
+  obs_registry.counter("placement.accepted");    // in the manifest: clean
+  obs_registry.counter("placement.typo_total");  // FINDING: unlisted
+}
+
+}  // namespace vr::obs

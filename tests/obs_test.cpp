@@ -138,6 +138,99 @@ TEST(HistogramTest, RejectsNanAndNegative) {
   EXPECT_DEATH(hist.observe(-1.0), "histogram sample is negative");
 }
 
+// -------------------------------------------------- custom bucket bounds --
+
+TEST(HistogramBoundsTest, CustomBoundsBinSamplesAtTheDeclaredEdges) {
+  Histogram hist(std::vector<double>{2.0, 4.0, 8.0});
+  hist.observe(1.0);  // [0, 2)
+  hist.observe(2.0);  // [2, 4) — edges are exclusive upper bounds
+  hist.observe(5.0);  // [4, 8)
+  hist.observe(9.0);  // overflow bucket
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count(), 4u);
+  EXPECT_EQ(snap.bounds, (std::vector<double>{2.0, 4.0, 8.0}));
+  ASSERT_EQ(snap.used_buckets(), 4u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  // Quantiles interpolate within the declared edges; the overflow
+  // bucket's upper edge is the observed max, not infinity.
+  const double median = snap.quantile(0.5);
+  EXPECT_GE(median, 2.0);
+  EXPECT_LE(median, 4.0);
+  EXPECT_LE(snap.quantile(1.0), 9.0);
+  EXPECT_GE(snap.quantile(1.0), median);
+}
+
+TEST(HistogramBoundsTest, MalformedBoundsAbort) {
+  EXPECT_DEATH(Histogram(std::vector<double>{2.0, 2.0}),
+               "strictly increasing");
+  EXPECT_DEATH(Histogram(std::vector<double>{4.0, 2.0}),
+               "strictly increasing");
+  EXPECT_DEATH(Histogram(std::vector<double>{-1.0, 3.0}),
+               "positive and finite");
+  std::vector<double> too_many;
+  for (int i = 0; i < 64; ++i) {
+    too_many.push_back(static_cast<double>(i + 1));
+  }
+  EXPECT_DEATH(Histogram{too_many}, "more bucket bounds");
+}
+
+TEST(HistogramBoundsTest, MatchingBoundsMergeExactly) {
+  const std::vector<double> bounds = {3.0, 6.0, 9.0};
+  Histogram a(bounds);
+  Histogram b(bounds);
+  Histogram combined(bounds);
+  for (int v = 0; v < 8; ++v) {
+    a.observe(static_cast<double>(v));
+    combined.observe(static_cast<double>(v));
+  }
+  for (int v = 8; v < 12; ++v) {
+    b.observe(static_cast<double>(v));
+    combined.observe(static_cast<double>(v));
+  }
+  a.merge(b.snapshot());
+  const HistogramSnapshot merged = a.snapshot();
+  const HistogramSnapshot direct = combined.snapshot();
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.buckets, direct.buckets);
+  EXPECT_DOUBLE_EQ(merged.stats.mean(), direct.stats.mean());
+  EXPECT_DOUBLE_EQ(merged.quantile(0.5), direct.quantile(0.5));
+}
+
+// Regression: merging differently-shaped histograms used to be silently
+// accepted bucket-by-bucket, producing counts that belonged to no
+// consistent edge scheme. Any shape disagreement must abort.
+TEST(HistogramBoundsTest, MismatchedBoundsRefuseToMerge) {
+  Histogram a(std::vector<double>{2.0, 4.0});
+  Histogram b(std::vector<double>{2.0, 5.0});
+  Histogram default_shaped;
+  a.observe(1.0);
+  b.observe(1.0);
+  default_shaped.observe(1.0);
+  EXPECT_DEATH(a.merge(b.snapshot()), "bounds mismatch");
+  EXPECT_DEATH(a.merge(default_shaped.snapshot()), "bounds mismatch");
+  EXPECT_DEATH(default_shaped.merge(a.snapshot()), "bounds mismatch");
+}
+
+TEST(HistogramBoundsTest, ConfigureBoundsOnlyReshapesAnEmptyHistogram) {
+  Histogram hist;
+  hist.configure_bounds({1.0, 2.0});
+  hist.configure_bounds({1.0, 2.0});  // same shape again is a no-op
+  hist.observe(1.5);
+  EXPECT_EQ(hist.snapshot().bounds, (std::vector<double>{1.0, 2.0}));
+  // Still-empty but already shaped: a different shape is a conflict.
+  Histogram shaped(std::vector<double>{1.0, 2.0});
+  EXPECT_DEATH(shaped.configure_bounds({9.0}), "re-configured");
+  // Already sampled: the counts cannot be re-binned, even from default.
+  EXPECT_DEATH(hist.configure_bounds({9.0}), "cannot change once samples");
+  Histogram sampled;
+  sampled.observe(1.0);
+  EXPECT_DEATH(sampled.configure_bounds({1.0, 2.0}),
+               "cannot change once samples");
+}
+
 // --------------------------------------------------------------- registry --
 
 TEST(RegistryTest, SameNameAndLabelsReturnsSameCell) {
@@ -317,6 +410,51 @@ TEST(RegistryMergeTest, KindMismatchAborts) {
   dest.counter("m.events").add(1);
   src.gauge("m.events").set(1);
   EXPECT_DEATH(dest.merge(src), "different kind");
+}
+
+// Regression: two shards registering one histogram name with different
+// bucket shapes used to merge silently, summing counts across buckets
+// that meant different value ranges. The abort must name the metric so
+// the offending registration is findable.
+TEST(RegistryMergeTest, HistogramShapeMismatchAbortsWithMetricName) {
+  Registry dest;
+  Registry src;
+  dest.histogram("m.depth", std::vector<double>{1.0, 2.0}).observe(0.5);
+  src.histogram("m.depth", std::vector<double>{4.0, 8.0}).observe(0.5);
+  EXPECT_DEATH(dest.merge(src), "m.depth");
+}
+
+TEST(RegistryMergeTest, DefaultShapedPopulatedCellRefusesCustomSource) {
+  Registry dest;
+  Registry src;
+  dest.histogram("m.depth").observe(1.0);  // default base-2, has samples
+  src.histogram("m.depth", std::vector<double>{2.0}).observe(1.0);
+  EXPECT_DEATH(dest.merge(src), "m.depth");
+}
+
+TEST(RegistryMergeTest, MergeCreatesCustomShapedCellsInTheDestination) {
+  Registry dest;
+  Registry src;
+  src.histogram("m.depth", std::vector<double>{2.0, 4.0}).observe(1.0);
+  dest.merge(src);
+  // The fresh destination cell adopted the source's shape, so a second
+  // merge of the same shard accumulates instead of aborting.
+  EXPECT_EQ(dest.histogram("m.depth").bounds(),
+            (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(dest.histogram("m.depth").snapshot().count(), 1u);
+  dest.merge(src);
+  EXPECT_EQ(dest.histogram("m.depth").snapshot().count(), 2u);
+}
+
+TEST(RegistryTest, HistogramReRegistrationMustKeepItsBounds) {
+  Registry registry;
+  Histogram& a = registry.histogram("m.lat", std::vector<double>{1.0, 2.0});
+  Histogram& b = registry.histogram("m.lat", std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(&a, &b);
+  // The plain accessor returns the shaped cell unchanged.
+  EXPECT_EQ(&registry.histogram("m.lat"), &a);
+  EXPECT_DEATH(registry.histogram("m.lat", std::vector<double>{9.0}),
+               "different histogram bucket bounds");
 }
 
 // ------------------------------------------------------------------- sink --

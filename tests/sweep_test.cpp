@@ -6,8 +6,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <future>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "core/figures.hpp"
 #include "core/sweep.hpp"
@@ -86,6 +89,38 @@ TEST(SweepRunnerTest, VrThreadsEnvIsParsedStrictly) {
   EXPECT_EQ(with_env("-3"), fallback);
   EXPECT_EQ(with_env(""), fallback);
   EXPECT_EQ(with_env(" 4"), fallback);
+  unsetenv("VR_THREADS");
+}
+
+// Regression: VR_THREADS had no upper cap — "VR_THREADS=1000000" would
+// make every sweep try to spawn a million std::threads and die on
+// resource exhaustion instead of falling back. Values above
+// kMaxProbeThreads are now rejected like any other unusable setting.
+TEST(SweepRunnerTest, VrThreadsIsCappedAtKMaxProbeThreads) {
+  const auto with_env = [](const char* value) {
+    setenv("VR_THREADS", value, 1);
+    return default_sweep_threads();
+  };
+  unsetenv("VR_THREADS");
+  const std::size_t fallback = default_sweep_threads();
+  struct Case {
+    const char* value;
+    bool accepted;
+    std::size_t expected;  // meaningful only when accepted
+  };
+  const Case cases[] = {
+      {"1", true, 1},
+      {"4095", true, 4095},
+      {"4096", true, kMaxProbeThreads},  // the cap itself is usable
+      {"4097", false, 0},
+      {"65536", false, 0},
+      {"9223372036854775807", false, 0},   // fits the parse, over the cap
+      {"99999999999999999999", false, 0},  // overflows the parse entirely
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(with_env(c.value), c.accepted ? c.expected : fallback)
+        << "VR_THREADS=" << c.value;
+  }
   unsetenv("VR_THREADS");
 }
 
@@ -268,6 +303,128 @@ TEST(WorkloadCacheTest, TightBudgetStillDeduplicatesConcurrentBuilds) {
   (void)cache.realize(seeded_scenario(21));
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_LE(cache.stats().entries, 1u);
+}
+
+// ------------------------------------------- cache failure & clear races --
+
+// A builder seam that runs a fixed script: each realize() call takes the
+// next Step in order. Blocking steps wait on a future the test releases,
+// which makes the clear()/failure interleavings deterministic.
+struct ScriptedBuilder {
+  struct Step {
+    bool fail = false;
+    std::shared_future<void> gate;  // wait before finishing (if valid)
+  };
+
+  std::shared_ptr<const Workload> product;
+  std::vector<Step> steps;
+  std::atomic<std::size_t> calls{0};
+
+  WorkloadCache::Builder fn() {
+    return [this](const Scenario&, bool) -> std::shared_ptr<const Workload> {
+      const std::size_t index = calls.fetch_add(1);
+      const Step& step = steps.at(index);
+      if (step.gate.valid()) step.gate.wait();
+      if (step.fail) throw std::runtime_error("scripted build failure");
+      return product;
+    };
+  }
+};
+
+std::shared_ptr<const Workload> shared_small_workload() {
+  static const std::shared_ptr<const Workload> workload =
+      std::make_shared<const Workload>(realize_workload(small_scenario()));
+  return workload;
+}
+
+TEST(WorkloadCacheTest, FailedBuildRecoversOnRetry) {
+  ScriptedBuilder script;
+  script.product = shared_small_workload();
+  script.steps = {{.fail = true, .gate = {}}, {.fail = false, .gate = {}}};
+  WorkloadCache cache(nullptr, script.fn());
+  const Scenario s = small_scenario();
+
+  EXPECT_THROW((void)cache.realize(s), std::runtime_error);
+  // The failed slot is gone — the key is rebuildable, not poisoned.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  const std::shared_ptr<const Workload> retried = cache.realize(s);
+  EXPECT_EQ(retried.get(), script.product.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.realize(s).get(), retried.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+// Regression: a build failing after clear() had re-installed its key used
+// to erase the *retry's* slot from the catch path — the retry's waiters
+// lost dedup and its completion then corrupted the byte accounting. The
+// generation check must leave a slot it no longer owns alone.
+TEST(WorkloadCacheTest, FailedBuildAfterClearDoesNotEraseTheRetrysSlot) {
+  std::promise<void> release_failing;
+  ScriptedBuilder script;
+  script.product = shared_small_workload();
+  script.steps = {{.fail = true, .gate = release_failing.get_future().share()},
+                  {.fail = false, .gate = {}}};
+  WorkloadCache cache(nullptr, script.fn());
+  const Scenario s = small_scenario();
+
+  std::thread failing([&] {
+    EXPECT_THROW((void)cache.realize(s), std::runtime_error);
+  });
+  while (script.calls.load() == 0) std::this_thread::yield();
+
+  // The in-flight build's slot is dropped, then the same key is rebuilt
+  // successfully — a new slot with a new generation.
+  cache.clear();
+  const std::shared_ptr<const Workload> healthy = cache.realize(s);
+  EXPECT_EQ(healthy.get(), script.product.get());
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  // Now the stale build fails. Its catch path must not tear down the
+  // healthy slot it no longer owns.
+  release_failing.set_value();
+  failing.join();
+  EXPECT_EQ(cache.stats().entries, 1u);
+  const std::uint64_t hits_before = cache.stats().hits;
+  EXPECT_EQ(cache.realize(s).get(), healthy.get());
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+}
+
+// Regression: a build completing after clear() had re-installed its key
+// used to mark the new slot ready and charge its own bytes against it;
+// when the new build then completed too, the entry was double-charged and
+// the resident-byte budget drifted upward forever. The stale completion
+// must be a no-op.
+TEST(WorkloadCacheTest, StaleCompletionAfterClearDoesNotDoubleCharge) {
+  std::promise<void> release_stale;
+  std::promise<void> release_retry;
+  ScriptedBuilder script;
+  script.product = shared_small_workload();
+  script.steps = {{.fail = false, .gate = release_stale.get_future().share()},
+                  {.fail = false, .gate = release_retry.get_future().share()}};
+  WorkloadCache cache(nullptr, script.fn());
+  const Scenario s = small_scenario();
+
+  std::thread stale([&] { (void)cache.realize(s); });
+  while (script.calls.load() == 0) std::this_thread::yield();
+  cache.clear();
+
+  std::thread retry([&] { (void)cache.realize(s); });
+  while (script.calls.load() < 2) std::this_thread::yield();
+
+  // The stale build finishes first, against a slot that is no longer its
+  // own; then the retry finishes and becomes the resident entry.
+  release_stale.set_value();
+  stale.join();
+  release_retry.set_value();
+  retry.join();
+
+  const std::uint64_t one = WorkloadCache::approx_bytes(*script.product);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().resident_bytes, one);  // charged exactly once
+  EXPECT_EQ(cache.realize(s).get(), script.product.get());
 }
 
 // ------------------------------------------------- sweep determinism e2e --

@@ -48,6 +48,8 @@ EXPECTED = {
     ("metrics", "src/dataplane/cycle_metrics.cpp", 10),
     # Unlisted literal + dynamic name; the metric-ok'd call is absent.
     ("metrics", "src/obs/bad_metrics.cpp", 14),
+    # Typo'd placement counter; the manifest-listed one is absent.
+    ("metrics", "src/placement/bad_placement_metrics.cpp", 10),
     ("metrics", "src/obs/bad_metrics.cpp", 15),
     # Typed-header mode: idle_power flagged, units-ok'd calib_power not.
     ("units", "src/power/bad_units.hpp", 9),
